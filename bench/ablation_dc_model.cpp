@@ -1,0 +1,82 @@
+// Design-choice ablation: the congestion gradient model.
+//
+// The paper's central argument against bounding-box congestion penalties
+// (Section I, Fig. 1(b)) is that a net's BB can contain congestion the
+// net does not cause, so BB penalties drag nets for the wrong reasons,
+// while the virtual-cell net-moving gradient acts only on congestion the
+// net actually crosses. This bench runs the full framework three ways —
+// no DC term, the bounding-box model [2], and the paper's net moving —
+// and reports #DRVs plus DRWL.
+//
+// Environment knobs: RDP_SCALE (default 1.0).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "benchgen/ispd_suite.hpp"
+#include "eval/route_metrics.hpp"
+#include "place/global_placer.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace rdp;
+    const double scale =
+        std::getenv("RDP_SCALE") ? std::atof(std::getenv("RDP_SCALE")) : 1.0;
+    const std::vector<SuiteEntry> suite = ablation_suite(scale);
+
+    std::cout << "=== Design-choice ablation: congestion gradient model ("
+              << suite.size() << " designs, scale " << scale << ") ===\n\n";
+
+    struct ModeSpec {
+        const char* label;
+        bool dc;
+        bool bbox;
+    };
+    const ModeSpec modes[] = {
+        {"no DC term", false, false},
+        {"bounding-box [2]", true, true},
+        {"net moving (paper)", true, false},
+    };
+
+    Table t({"design", "no DC", "bbox [2]", "net moving", "DRWL bbox/nm"});
+    double sums[3] = {0, 0, 0};
+    for (const SuiteEntry& entry : suite) {
+        const Design input = generate_circuit(entry.gen);
+        std::cerr << "[ablation-dc] " << entry.name << "\n";
+        long long drvs[3];
+        double drwl[3];
+        for (int m = 0; m < 3; ++m) {
+            PlacerConfig cfg;
+            cfg.mode = PlacerMode::Ours;
+            cfg.grid_bins = entry.grid_bins;
+            cfg.enable_dc = modes[m].dc;
+            cfg.use_bbox_dc_model = modes[m].bbox;
+            const PlaceResult res = GlobalPlacer(cfg).place(input);
+            EvalConfig ec;
+            ec.grid_bins = entry.grid_bins * 2;
+            const EvalMetrics em = evaluate_placement(res.placed, ec);
+            drvs[m] = em.drvs;
+            drwl[m] = em.drwl;
+        }
+        for (int m = 0; m < 3; ++m)
+            sums[m] += drvs[2] > 0
+                           ? static_cast<double>(drvs[m]) / drvs[2]
+                           : 1.0;
+        t.add_row({entry.name, Table::fmt_int(drvs[0]),
+                   Table::fmt_int(drvs[1]), Table::fmt_int(drvs[2]),
+                   Table::fmt(drwl[2] > 0 ? drwl[1] / drwl[2] : 1.0, 3)});
+    }
+    t.add_separator();
+    t.add_row({"avg ratio vs net moving",
+               Table::fmt(sums[0] / static_cast<double>(suite.size()), 2),
+               Table::fmt(sums[1] / static_cast<double>(suite.size()), 2),
+               Table::fmt(sums[2] / static_cast<double>(suite.size()), 2),
+               "-"});
+    t.print(std::cout);
+    std::cout << "\nReading: everything (MCI, DPA, budgets, schedules) is "
+                 "identical; only the congestion gradient source differs. "
+                 "The paper's claim is that net moving beats the "
+                 "bounding-box penalty because it penalizes only the "
+                 "congestion the net actually crosses.\n";
+    return 0;
+}

@@ -1,0 +1,223 @@
+// Design-choice ablation: the cell-inflation scheme.
+//
+// The paper motivates momentum-based inflation (Section I) against two
+// families: current-congestion-only schemes (DREAMPlace/RePlAce-like,
+// cells snap back into cleared hotspots) and monotone historical schemes
+// (Xplace-Route/NTUplace4dr-like, cells stay over-inflated). This bench
+// runs one identical routability stage per scheme — same stage-1 entry
+// placement, same DC gradients, same budget, only the inflation update
+// swapped — over the congested subset, reporting #DRVs per scheme and the
+// mean final inflation ratio (a direct view of over-inflation).
+//
+// Environment knobs: RDP_SCALE (default 1.0).
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "benchgen/ispd_suite.hpp"
+#include "eval/route_metrics.hpp"
+#include "legal/abacus.hpp"
+#include "legal/detailed_place.hpp"
+#include "legal/tetris.hpp"
+#include "place/global_placer.hpp"
+#include "place/nesterov.hpp"
+#include "place/objective.hpp"
+#include "place/routability_loop.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rdp;
+
+std::unique_ptr<InflationScheme> make_scheme(const std::string& name,
+                                             int num_cells,
+                                             const PlacerConfig& cfg) {
+    if (name == "momentum")
+        return std::make_unique<MomentumInflation>(num_cells, cfg.mci);
+    if (name == "monotone")
+        return std::make_unique<MonotoneInflation>(num_cells,
+                                                   cfg.baseline_inflation);
+    if (name == "current-only")
+        return std::make_unique<CurrentOnlyInflation>(
+            num_cells, cfg.baseline_inflation);
+    return std::make_unique<NoInflation>(num_cells);
+}
+
+struct SchemeResult {
+    long long drvs = 0;
+    double drwl = 0.0;
+    double mean_ratio = 1.0;
+};
+
+/// Run the identical routability stage with `scheme_name` swapped in, from
+/// the given stage-1 entry placement (with fillers).
+SchemeResult run_with_scheme(const SuiteEntry& entry, const Design& entry_gp,
+                             int first_filler, const std::string& scheme_name,
+                             const PlacerConfig& cfg) {
+    Design work = entry_gp;
+    const BinGrid grid(work.region, entry.grid_bins, entry.grid_bins);
+    PlacementObjective obj(grid, cfg.density, cfg.netmove,
+                           4.0 * grid.bin_w());
+    const std::vector<int> movable = work.movable_cells();
+    GlobalRouter router(grid, cfg.router);
+    CongestionField field(grid);
+    auto scheme = make_scheme(scheme_name, work.num_cells(), cfg);
+    std::vector<double> ratios(static_cast<size_t>(work.num_cells()), 1.0);
+    obj.set_inflation(&ratios);
+    obj.set_lambda2_scale(cfg.dc_weight);
+
+    std::vector<Vec2> pos(movable.size());
+    for (size_t i = 0; i < movable.size(); ++i)
+        pos[i] = work.cells[movable[i]].pos;
+    auto project = [&](size_t slot, Vec2 p) {
+        const Cell& c = work.cells[movable[slot]];
+        const Rect r = work.region;
+        return Vec2{std::clamp(p.x, r.lx + c.width / 2, r.hx - c.width / 2),
+                    std::clamp(p.y, r.ly + c.height / 2, r.hy - c.height / 2)};
+    };
+    {
+        std::vector<Vec2> g0;
+        obj.set_lambda1(0.0);
+        const ObjectiveTerms t0 = obj.evaluate(work, movable, pos, g0);
+        obj.set_lambda1(cfg.route_lambda1_boost *
+                        (t0.density_grad_l1 > 0
+                             ? t0.wl_grad_l1 / t0.density_grad_l1
+                             : 1.0));
+    }
+
+    double best = 1e300;
+    std::vector<Vec2> best_pos = pos;
+    for (int outer = 0; outer < cfg.max_route_iters; ++outer) {
+        const RouteResult rr = router.route(work);
+        const double severe = rr.congestion.weighted_overflow();
+        if (severe < best * (1.0 - cfg.keep_best_margin)) {
+            best = std::min(best, severe);
+            best_pos = pos;
+        }
+        scheme->update(work, rr.congestion);
+        ratios = scheme->ratios();
+        budget_inflation(work, first_filler, ratios,
+                         cfg.inflation_budget_frac);
+        field.build(rr.congestion);
+        obj.set_congestion(&rr.congestion, &field);
+        NesterovSolver solver(pos);
+        std::vector<Vec2> grad;
+        for (int it = 0; it < cfg.inner_iters; ++it) {
+            obj.evaluate(work, movable, solver.reference(), grad);
+            solver.step(grad, project);
+        }
+        pos = solver.solution();
+        for (size_t i = 0; i < movable.size(); ++i)
+            work.cells[movable[i]].pos = pos[i];
+        obj.set_congestion(nullptr, nullptr);
+    }
+    {
+        const RouteResult rr = router.route(work);
+        if (rr.congestion.weighted_overflow() > best) {
+            for (size_t i = 0; i < movable.size(); ++i)
+                work.cells[movable[i]].pos = best_pos[i];
+        }
+    }
+
+    SchemeResult out;
+    double acc = 0.0;
+    int n_real = 0;
+    for (int i = 0; i < first_filler; ++i) {
+        if (!work.cells[static_cast<size_t>(i)].movable()) continue;
+        acc += ratios[static_cast<size_t>(i)];
+        ++n_real;
+    }
+    out.mean_ratio = n_real > 0 ? acc / n_real : 1.0;
+
+    // Strip fillers, legalize, evaluate.
+    work.cells.resize(static_cast<size_t>(first_filler));
+    work.clamp_movables_to_region();
+    std::vector<Vec2> desired(static_cast<size_t>(work.num_cells()));
+    for (int i = 0; i < work.num_cells(); ++i)
+        desired[static_cast<size_t>(i)] = work.cells[static_cast<size_t>(i)].pos;
+    tetris_legalize(work);
+    abacus_refine(work, desired);
+    detailed_place(work);
+    EvalConfig ec;
+    ec.grid_bins = entry.grid_bins * 2;
+    const EvalMetrics m = evaluate_placement(work, ec);
+    out.drvs = m.drvs;
+    out.drwl = m.drwl;
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    const double scale =
+        std::getenv("RDP_SCALE") ? std::atof(std::getenv("RDP_SCALE")) : 1.0;
+    const std::vector<SuiteEntry> suite = ablation_suite(scale);
+
+    std::cout << "=== Design-choice ablation: inflation scheme ("
+              << suite.size() << " congested designs, scale " << scale
+              << ") ===\n\n";
+
+    const std::vector<std::string> schemes = {"none", "current-only",
+                                              "monotone", "momentum"};
+    Table t({"design", "none", "current-only", "monotone",
+             "momentum (paper)"});
+    Table ratios_t({"design", "none", "current-only", "monotone",
+                    "momentum (paper)"});
+    std::vector<double> sums(schemes.size(), 0.0);
+    for (const SuiteEntry& entry : suite) {
+        const Design input = generate_circuit(entry.gen);
+        std::cerr << "[ablation-inflation] " << entry.name << "\n";
+
+        // Shared stage-1 entry state (with fillers) for every scheme.
+        PlacerConfig cfg;
+        cfg.grid_bins = entry.grid_bins;
+        Design entry_gp = input;
+        entry_gp.build_rows();
+        // Reuse the real placer for stage 1, then re-add fillers on the
+        // legalized result as the common entry state.
+        PlacerConfig wl_cfg = cfg;
+        wl_cfg.mode = PlacerMode::WirelengthOnly;
+        entry_gp = GlobalPlacer(wl_cfg).place(input).placed;
+        const int first_filler =
+            GlobalPlacer::add_fillers(entry_gp, cfg, cfg.seed);
+
+        std::vector<std::string> row = {entry.name};
+        std::vector<std::string> ratio_row = {entry.name};
+        std::vector<long long> drvs(schemes.size());
+        for (size_t s = 0; s < schemes.size(); ++s) {
+            const SchemeResult r =
+                run_with_scheme(entry, entry_gp, first_filler, schemes[s],
+                                cfg);
+            drvs[s] = r.drvs;
+            row.push_back(Table::fmt_int(r.drvs));
+            ratio_row.push_back(Table::fmt(r.mean_ratio, 3));
+        }
+        for (size_t s = 0; s < schemes.size(); ++s)
+            sums[s] += drvs.back() > 0
+                           ? static_cast<double>(drvs[s]) / drvs.back()
+                           : 1.0;
+        t.add_row(std::move(row));
+        ratios_t.add_row(std::move(ratio_row));
+    }
+    t.add_separator();
+    std::vector<std::string> avg = {"avg ratio vs momentum"};
+    for (size_t s = 0; s < schemes.size(); ++s)
+        avg.push_back(
+            Table::fmt(sums[s] / static_cast<double>(suite.size()), 2));
+    t.add_row(std::move(avg));
+
+    std::cout << "#DRVs per scheme (identical stage, scheme swapped):\n";
+    t.print(std::cout);
+    std::cout << "\nmean final inflation ratio over real cells:\n";
+    ratios_t.print(std::cout);
+
+    std::cout << "\nReading: all schemes run inside the identical framework "
+                 "(DC active, same budget); only the inflation update "
+                 "differs. The paper's claim: momentum avoids both the "
+                 "snap-back of current-only and the over-inflation of "
+                 "monotone schemes (visible in the ratio table).\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+// Fig. 3 harness: geometry of the two-pin net-moving gradient.
+//
+// Reconstructs the paper's Fig. 3 quantitatively on a synthetic congestion
+// field: a hot blob off a two-pin net's segment. For a family of nets at
+// increasing distances from the blob it prints the virtual cell position
+// (Eq. 6-8), the perpendicular gradient magnitude |grad C_perp|, and the
+// per-endpoint gradients with their L/(2 d_iv) scaling (Eq. 9) — showing
+// that (a) gradients are perpendicular to the net, (b) the closer pin gets
+// the larger gradient, and (c) the effect decays away from the hotspot.
+
+#include <cmath>
+#include <iostream>
+
+#include "congestion/congestion_field.hpp"
+#include "congestion/net_moving.hpp"
+#include "congestion/virtual_cell.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace rdp;
+
+    // 32x32 G-cells of 10x10 DBU; hot blob centered at (160, 120).
+    const BinGrid grid({0, 0, 320, 320}, 32, 32);
+    GridF dmd(32, 32, 2.0), cap(32, 32, 10.0);
+    for (int y = 10; y <= 13; ++y)
+        for (int x = 14; x <= 17; ++x) dmd.at(x, y) = 26.0;
+    const CongestionMap cmap(grid, dmd, cap);
+    CongestionField field(grid);
+    field.build(cmap);
+
+    std::cout << "=== Fig. 3: two-pin net moving geometry ===\n"
+              << "hot blob: G-cells [14..17]x[10..13] (x 140-180, y "
+                 "100-140), utilization 2.6\n\n";
+
+    // Horizontal nets crossing above the blob at increasing heights.
+    Table t({"net y", "virtual cell (x,y)", "vc congestion",
+             "|gradC_perp|", "|grad c1| (near)", "|grad c2| (far)",
+             "perpendicular?"});
+    NetMovingGradient nm;
+    // The first four nets cross the blob's rows (congested virtual cells,
+    // gradients alive); the last runs well clear of it (no congestion on
+    // the segment -> the mechanism leaves the net alone).
+    for (const double y : {105.0, 118.0, 128.0, 138.0, 185.0}) {
+        Design d;
+        d.region = {0, 0, 320, 320};
+        const int c1 = d.add_cell("c1", 4, 8, CellKind::Movable, {120, y});
+        const int c2 = d.add_cell("c2", 4, 8, CellKind::Movable, {300, y});
+        const int net = d.add_net("n");
+        d.connect(net, d.add_pin(c1, {0, 0}));
+        d.connect(net, d.add_pin(c2, {0, 0}));
+
+        std::vector<Vec2> grad(2);
+        const VirtualCell vc = nm.two_pin_gradient(
+            d, d.cells[c1].pos, d.cells[c2].pos, c1, c2, 32.0, cmap, field,
+            grad);
+        const Vec2 gcv = field.charge_gradient(vc.pos, 32.0);
+        const Vec2 seg = d.cells[c2].pos - d.cells[c1].pos;
+        Vec2 n = seg.perp().normalized();
+        if (n.dot(gcv) < 0) n = n * -1.0;
+        const double gperp = std::abs(n.dot(gcv));
+        const bool perp1 =
+            std::abs(grad[0].dot(seg)) < 1e-9 * seg.norm() + 1e-12;
+
+        char pos_buf[64];
+        std::snprintf(pos_buf, sizeof pos_buf, "(%.1f, %.1f)", vc.pos.x,
+                      vc.pos.y);
+        t.add_row({Table::fmt(y, 0), pos_buf, Table::fmt(vc.congestion, 2),
+                   Table::fmt(gperp, 4), Table::fmt(grad[0].norm(), 4),
+                   Table::fmt(grad[1].norm(), 4), perp1 ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nReadout: the virtual cell lands inside the blob's column "
+           "range; the near pin (c1) receives the larger gradient per "
+           "Eq. (9); gradients are exactly perpendicular to the segment "
+           "(Fig. 3(b)). The field physics shows too: the push is "
+           "strongest for nets near the blob's edges, nearly zero at the "
+           "blob's center (the potential is flat there — no direction "
+           "helps), and exactly zero once the segment no longer touches "
+           "congestion.\n";
+    return 0;
+}

@@ -1,0 +1,132 @@
+// Kernel microbenchmarks (google-benchmark): the building blocks whose
+// cost dominates the placement loop — FFT/DCT, the spectral Poisson solve,
+// density evaluation, WA wirelength, net decomposition, pattern routing,
+// and a full router invocation.
+
+#include <benchmark/benchmark.h>
+
+#include "benchgen/generator.hpp"
+#include "congestion/net_moving.hpp"
+#include "density/electro_density.hpp"
+#include "fft/dct.hpp"
+#include "fft/fft.hpp"
+#include "poisson/poisson.hpp"
+#include "router/global_router.hpp"
+#include "router/net_decompose.hpp"
+#include "util/rng.hpp"
+#include "wirelength/wa_model.hpp"
+
+namespace {
+
+using namespace rdp;
+
+void BM_Fft(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(1);
+    std::vector<Complex> a(static_cast<size_t>(n));
+    for (auto& v : a) v = {rng.uniform(), rng.uniform()};
+    for (auto _ : state) {
+        auto copy = a;
+        fft(copy, false);
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_Fft)->Range(64, 4096)->Complexity(benchmark::oNLogN);
+
+void BM_Dct2(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(2);
+    std::vector<double> x(static_cast<size_t>(n));
+    for (auto& v : x) v = rng.uniform();
+    for (auto _ : state) {
+        auto out = dct2(x);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_Dct2)->Range(64, 1024);
+
+void BM_PoissonSolve(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    PoissonSolver solver(n, n);
+    Rng rng(3);
+    GridF rho(n, n);
+    for (auto& v : rho) v = rng.uniform();
+    for (auto _ : state) {
+        auto sol = solver.solve(rho);
+        benchmark::DoNotOptimize(sol.potential.data());
+    }
+}
+BENCHMARK(BM_PoissonSolve)->Arg(64)->Arg(128)->Arg(256);
+
+Design bench_design(int cells) {
+    GeneratorConfig cfg;
+    cfg.seed = 5;
+    cfg.num_cells = cells;
+    cfg.num_macros = 3;
+    return generate_circuit(cfg);
+}
+
+void BM_DensityEvaluate(benchmark::State& state) {
+    const Design d = bench_design(static_cast<int>(state.range(0)));
+    const BinGrid grid(d.region, 64, 64);
+    const ElectroDensity ed(grid);
+    Design work = d;
+    for (auto _ : state) {
+        auto res = ed.evaluate(work);
+        benchmark::DoNotOptimize(res.penalty);
+    }
+}
+BENCHMARK(BM_DensityEvaluate)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_WaWirelength(benchmark::State& state) {
+    const Design d = bench_design(static_cast<int>(state.range(0)));
+    const WAWirelength wa(8.0);
+    for (auto _ : state) {
+        auto res = wa.evaluate(d);
+        benchmark::DoNotOptimize(res.total);
+    }
+}
+BENCHMARK(BM_WaWirelength)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_ManhattanMst(benchmark::State& state) {
+    const int k = static_cast<int>(state.range(0));
+    Rng rng(6);
+    std::vector<Vec2> pts(static_cast<size_t>(k));
+    for (auto& p : pts) p = {rng.uniform(0, 1000), rng.uniform(0, 1000)};
+    for (auto _ : state) {
+        auto edges = manhattan_mst(pts);
+        benchmark::DoNotOptimize(edges.data());
+    }
+}
+BENCHMARK(BM_ManhattanMst)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_GlobalRoute(benchmark::State& state) {
+    const Design d = bench_design(static_cast<int>(state.range(0)));
+    const BinGrid grid(d.region, 64, 64);
+    const GlobalRouter router(grid);
+    for (auto _ : state) {
+        auto rr = router.route(d);
+        benchmark::DoNotOptimize(rr.wirelength_dbu);
+    }
+}
+BENCHMARK(BM_GlobalRoute)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_NetMovingGradient(benchmark::State& state) {
+    const Design d = bench_design(static_cast<int>(state.range(0)));
+    const BinGrid grid(d.region, 64, 64);
+    const GlobalRouter router(grid);
+    const RouteResult rr = router.route(d);
+    CongestionField field(grid);
+    field.build(rr.congestion);
+    const NetMovingGradient nm;
+    for (auto _ : state) {
+        auto res = nm.compute(d, rr.congestion, field);
+        benchmark::DoNotOptimize(res.penalty);
+    }
+}
+BENCHMARK(BM_NetMovingGradient)->Arg(1000)->Arg(4000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

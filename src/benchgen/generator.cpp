@@ -1,0 +1,219 @@
+#include "benchgen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace rdp {
+
+namespace {
+
+/// Cell width in sites with decreasing weights 1/w (mean ~2.4 for max 6).
+int pick_width_sites(Rng& rng, int max_sites) {
+    double total = 0.0;
+    for (int w = 1; w <= max_sites; ++w) total += 1.0 / w;
+    double u = rng.uniform() * total;
+    for (int w = 1; w <= max_sites; ++w) {
+        u -= 1.0 / w;
+        if (u <= 0.0) return w;
+    }
+    return max_sites;
+}
+
+}  // namespace
+
+Design generate_circuit(const GeneratorConfig& cfg) {
+    Rng rng(cfg.seed);
+    Design d;
+    d.name = cfg.name;
+    d.row_height = cfg.row_height;
+    d.site_width = cfg.site_width;
+
+    // --- size the region ----------------------------------------------------
+    // Draw widths first so the region matches the actual movable area.
+    std::vector<int> widths(static_cast<size_t>(cfg.num_cells));
+    double movable_area = 0.0;
+    for (auto& w : widths) {
+        w = pick_width_sites(rng, cfg.max_cell_sites);
+        movable_area += w * cfg.site_width * cfg.row_height;
+    }
+    const double free_area = movable_area / std::max(cfg.utilization, 0.05);
+    const double total_area =
+        free_area / std::max(1.0 - cfg.macro_area_frac, 0.1);
+    double side = std::sqrt(total_area);
+    // Round to whole rows and sites.
+    const int nrows =
+        std::max(4, static_cast<int>(std::round(side / cfg.row_height)));
+    const int nsites =
+        std::max(16, static_cast<int>(std::round(side / cfg.site_width)));
+    d.region = {0.0, 0.0, nsites * cfg.site_width, nrows * cfg.row_height};
+    d.build_rows();
+
+    // --- macros --------------------------------------------------------------
+    // Row/site aligned, non-overlapping, away from the boundary.
+    std::vector<Rect> macro_boxes;
+    const double macro_total = cfg.macro_area_frac * d.region.area();
+    for (int m = 0; m < cfg.num_macros; ++m) {
+        const double target = macro_total / std::max(cfg.num_macros, 1);
+        const double aspect = rng.uniform(0.6, 1.7);
+        double w = std::sqrt(target * aspect);
+        double h = std::sqrt(target / aspect);
+        // Snap dims to the grid.
+        w = std::max(4.0 * cfg.site_width,
+                     std::round(w / cfg.site_width) * cfg.site_width);
+        h = std::max(2.0 * cfg.row_height,
+                     std::round(h / cfg.row_height) * cfg.row_height);
+        bool placed = false;
+        for (int attempt = 0; attempt < 200 && !placed; ++attempt) {
+            const double margin_x = 2.0 * cfg.site_width;
+            const double margin_y = 2.0 * cfg.row_height;
+            if (d.region.width() - w < 2 * margin_x ||
+                d.region.height() - h < 2 * margin_y)
+                break;
+            double lx = rng.uniform(d.region.lx + margin_x,
+                                    d.region.hx - margin_x - w);
+            double ly = rng.uniform(d.region.ly + margin_y,
+                                    d.region.hy - margin_y - h);
+            lx = std::round(lx / cfg.site_width) * cfg.site_width;
+            ly = std::round(ly / cfg.row_height) * cfg.row_height;
+            const Rect box{lx, ly, lx + w, ly + h};
+            bool ok = true;
+            for (const Rect& other : macro_boxes) {
+                if (box.expanded(2.0 * cfg.row_height).intersects(other)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (!ok) continue;
+            macro_boxes.push_back(box);
+            const int ci =
+                d.add_cell("macro_" + std::to_string(m), w, h,
+                           CellKind::Macro, box.center());
+            // A few macro pins along the bottom edge.
+            const int npins = 4 + rng.uniform_int(0, 4);
+            for (int p = 0; p < npins; ++p) {
+                const double dx = rng.uniform(-w / 2 * 0.9, w / 2 * 0.9);
+                d.add_pin(ci, {dx, -h / 2 + cfg.row_height / 2});
+            }
+            placed = true;
+        }
+    }
+
+    // --- IO pads on the boundary --------------------------------------------
+    std::vector<int> io_cells;
+    for (int i = 0; i < cfg.num_ios; ++i) {
+        const int edge = rng.uniform_int(0, 3);
+        Vec2 p;
+        switch (edge) {
+            case 0: p = {d.region.lx, rng.uniform(d.region.ly, d.region.hy)}; break;
+            case 1: p = {d.region.hx, rng.uniform(d.region.ly, d.region.hy)}; break;
+            case 2: p = {rng.uniform(d.region.lx, d.region.hx), d.region.ly}; break;
+            default: p = {rng.uniform(d.region.lx, d.region.hx), d.region.hy}; break;
+        }
+        const int ci = d.add_cell("io_" + std::to_string(i), cfg.site_width,
+                                  cfg.site_width, CellKind::Fixed, p);
+        d.add_pin(ci, {0.0, 0.0});
+        io_cells.push_back(ci);
+    }
+
+    // --- standard cells -------------------------------------------------------
+    std::vector<int> std_cells;
+    std_cells.reserve(static_cast<size_t>(cfg.num_cells));
+    for (int i = 0; i < cfg.num_cells; ++i) {
+        const double w = widths[static_cast<size_t>(i)] * cfg.site_width;
+        const Vec2 p{rng.uniform(d.region.lx + w / 2, d.region.hx - w / 2),
+                     rng.uniform(d.region.ly + cfg.row_height / 2,
+                                 d.region.hy - cfg.row_height / 2)};
+        std_cells.push_back(d.add_cell("c" + std::to_string(i), w,
+                                       cfg.row_height, CellKind::Movable, p));
+    }
+
+    // --- nets ------------------------------------------------------------------
+    const int num_nets =
+        std::max(1, static_cast<int>(cfg.nets_per_cell * cfg.num_cells));
+    const int num_clusters =
+        std::max(1, cfg.num_cells / std::max(cfg.cluster_size, 2));
+    // Geometric tail: degree = 2 + geometric1(p) - 1 with mean avg_net_degree.
+    const double tail_mean = std::max(cfg.avg_net_degree - 2.0, 0.05);
+    const double p_geo = std::min(1.0, 1.0 / (tail_mean + 1.0));
+
+    auto pick_cell = [&](int cluster) {
+        if (rng.bernoulli(cfg.escape_prob))
+            return std_cells[static_cast<size_t>(
+                rng.uniform_int(0, cfg.num_cells - 1))];
+        const int lo = cluster * cfg.cluster_size;
+        const int hi =
+            std::min(lo + cfg.cluster_size, cfg.num_cells) - 1;
+        return std_cells[static_cast<size_t>(rng.uniform_int(lo, hi))];
+    };
+
+    for (int n = 0; n < num_nets; ++n) {
+        int degree = 1 + cfg.max_net_degree;
+        while (degree > cfg.max_net_degree)
+            degree = 2 + (rng.geometric1(p_geo) - 1);
+        const int cluster = rng.uniform_int(0, num_clusters - 1);
+
+        std::vector<int> members;
+        const bool io_net = !io_cells.empty() && rng.bernoulli(cfg.io_net_frac);
+        if (io_net) {
+            members.push_back(io_cells[static_cast<size_t>(
+                rng.uniform_int(0, static_cast<int>(io_cells.size()) - 1))]);
+        }
+        int guard = 0;
+        while (static_cast<int>(members.size()) < degree && guard++ < 200) {
+            const int c = pick_cell(cluster);
+            if (std::find(members.begin(), members.end(), c) == members.end())
+                members.push_back(c);
+        }
+        if (members.size() < 2) continue;
+
+        const int net = d.add_net("n" + std::to_string(n));
+        for (int ci : members) {
+            const Cell& c = d.cells[static_cast<size_t>(ci)];
+            // Pin offset inside the cell box (snapped-ish toward the middle
+            // rows of the cell where real pins sit).
+            const Vec2 off{rng.uniform(-c.width / 2 * 0.8, c.width / 2 * 0.8),
+                           rng.uniform(-c.height / 2 * 0.6,
+                                       c.height / 2 * 0.6)};
+            const int pin = d.add_pin(ci, off);
+            d.connect(net, pin);
+        }
+    }
+
+    // Some macro pins join nets too (connect each macro pin that exists to a
+    // random net's cluster): attach macro pins to fresh 2-pin nets.
+    for (int ci = 0; ci < d.num_cells(); ++ci) {
+        const Cell& c = d.cells[static_cast<size_t>(ci)];
+        if (!c.is_macro()) continue;
+        for (int pin : c.pins) {
+            if (d.pins[static_cast<size_t>(pin)].net != -1) continue;
+            const int net = d.add_net("mn" + std::to_string(pin));
+            d.connect(net, pin);
+            const int other = std_cells[static_cast<size_t>(
+                rng.uniform_int(0, cfg.num_cells - 1))];
+            const int opin = d.add_pin(other, {0.0, 0.0});
+            d.connect(net, opin);
+        }
+    }
+
+    // Routing blockages: capacity holes that do not block placement.
+    for (int b = 0; b < cfg.num_routing_blockages; ++b) {
+        const double target = cfg.routing_blockage_area_frac *
+                              d.region.area() /
+                              std::max(cfg.num_routing_blockages, 1);
+        const double aspect = rng.uniform(0.5, 2.0);
+        const double w = std::min(std::sqrt(target * aspect),
+                                  d.region.width() * 0.5);
+        const double h = std::min(std::sqrt(target / aspect),
+                                  d.region.height() * 0.5);
+        const double lx = rng.uniform(d.region.lx, d.region.hx - w);
+        const double ly = rng.uniform(d.region.ly, d.region.hy - h);
+        d.routing_blockages.push_back({lx, ly, lx + w, ly + h});
+    }
+
+    build_pg_rails(d, cfg.rails);
+    return d;
+}
+
+}  // namespace rdp

@@ -1,0 +1,58 @@
+#pragma once
+// Deterministic synthetic circuit generator — the repo's substitute for the
+// ISPD 2015 LEF/DEF benchmarks (see DESIGN.md, Substitutions). Generated
+// designs reproduce the statistics routability-driven placement actually
+// interacts with:
+//   * standard cells with a discrete width distribution on a row/site grid,
+//   * fixed macro blocks (row/site aligned, non-overlapping),
+//   * boundary IO pads,
+//   * a net hypergraph with geometric degree distribution (2-pin dominated,
+//     long tail) and cluster-local connectivity (placeable structure),
+//   * M2 PG rails per row plus vertical straps.
+
+#include <cstdint>
+#include <string>
+
+#include "db/design.hpp"
+#include "pinaccess/pg_rails.hpp"
+
+namespace rdp {
+
+struct GeneratorConfig {
+    std::string name = "synthetic";
+    uint64_t seed = 1;
+
+    int num_cells = 8000;          ///< movable standard cells
+    int num_ios = 64;              ///< fixed boundary pads
+    int num_macros = 4;
+    /// Routing blockage rectangles (capacity holes without placement
+    /// blockage), as in the ISPD 2015 "routing blockages" benchmarks.
+    int num_routing_blockages = 0;
+    double routing_blockage_area_frac = 0.02;
+    double macro_area_frac = 0.10; ///< macro area / region area
+    double utilization = 0.65;     ///< movable area / free area
+
+    double nets_per_cell = 1.15;
+    /// Net degree = 2 + geometric(p); p tuned from this mean (>= 2).
+    double avg_net_degree = 2.7;
+    int max_net_degree = 32;
+    /// Cells per connectivity cluster (index-contiguous communities).
+    int cluster_size = 24;
+    /// Probability that a net pin escapes its cluster to a random cell.
+    double escape_prob = 0.12;
+    /// Fraction of nets attached to an IO pad.
+    double io_net_frac = 0.02;
+
+    double row_height = 8.0;
+    double site_width = 1.0;
+    /// Cell width choices in sites (picked uniformly with decreasing
+    /// weight); mean width ~2.4 sites.
+    int max_cell_sites = 6;
+
+    PGRailConfig rails;
+};
+
+/// Generate a complete design (rows and PG rails included).
+Design generate_circuit(const GeneratorConfig& cfg);
+
+}  // namespace rdp

@@ -1,0 +1,97 @@
+#include "benchgen/ispd_suite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rdp {
+
+namespace {
+
+/// Relative profile of one contest design.
+struct Profile {
+    const char* name;
+    int cells;         ///< at scale 1.0
+    int macros;
+    double macro_frac; ///< macro area fraction
+    double util;       ///< movable utilization (congestion pressure)
+    double avg_deg;
+    double nets_per_cell;
+    bool fence_removed;
+    int grid_bins;
+    uint64_t seed;
+};
+
+// Sizes follow the contest's relative ordering (fft/pci smallest,
+// matrix_mult mid, superblue largest); utilization/macro profiles make the
+// des_perf_a / edit_dist_a / matrix_mult_b designs the congested ones and
+// superblue14 / pci_bridge32_b the easy ones, mirroring the DRV ordering
+// in paper Table I.
+constexpr Profile kProfiles[] = {
+    {"des_perf_1", 5200, 0, 0.00, 0.78, 2.8, 1.25, false, 64, 11},
+    {"des_perf_a", 5000, 4, 0.16, 0.80, 2.8, 1.25, true, 64, 12},
+    {"des_perf_b", 5200, 4, 0.12, 0.68, 2.7, 1.20, true, 64, 13},
+    {"edit_dist_a", 6000, 6, 0.14, 0.82, 2.9, 1.30, true, 64, 14},
+    {"fft_1", 1600, 0, 0.00, 0.76, 2.7, 1.20, false, 32, 15},
+    {"fft_2", 1600, 0, 0.00, 0.70, 2.7, 1.20, false, 32, 16},
+    {"fft_a", 1550, 2, 0.10, 0.62, 2.6, 1.15, false, 32, 17},
+    {"fft_b", 1550, 2, 0.10, 0.78, 2.8, 1.25, false, 32, 18},
+    {"matrix_mult_1", 7200, 0, 0.00, 0.74, 2.7, 1.20, false, 64, 19},
+    {"matrix_mult_2", 7200, 0, 0.00, 0.75, 2.7, 1.20, false, 64, 20},
+    {"matrix_mult_a", 7000, 5, 0.12, 0.66, 2.6, 1.15, false, 64, 21},
+    {"matrix_mult_b", 6800, 5, 0.12, 0.80, 2.8, 1.25, false, 64, 22},
+    {"matrix_mult_c", 6800, 5, 0.12, 0.66, 2.6, 1.15, true, 64, 23},
+    {"pci_bridge32_a", 1500, 3, 0.14, 0.72, 2.7, 1.20, true, 32, 24},
+    {"pci_bridge32_b", 1450, 3, 0.14, 0.58, 2.6, 1.15, true, 32, 25},
+    {"superblue11_a", 10500, 8, 0.10, 0.58, 2.6, 1.10, true, 64, 26},
+    {"superblue12", 12500, 10, 0.08, 0.80, 2.8, 1.25, false, 64, 27},
+    {"superblue14", 9000, 8, 0.10, 0.56, 2.6, 1.10, false, 64, 28},
+    {"superblue16_a", 9800, 6, 0.08, 0.62, 2.6, 1.15, true, 64, 29},
+    {"superblue19", 8500, 8, 0.10, 0.64, 2.6, 1.15, false, 64, 30},
+};
+
+SuiteEntry make_entry(const Profile& p, double scale) {
+    SuiteEntry e;
+    e.name = p.name;
+    e.fence_removed = p.fence_removed;
+    e.grid_bins = p.grid_bins;
+    GeneratorConfig& g = e.gen;
+    g.name = p.name;
+    g.seed = p.seed;
+    g.num_cells = std::max(200, static_cast<int>(std::lround(p.cells * scale)));
+    g.num_macros = p.macros;
+    g.macro_area_frac = p.macro_frac;
+    g.utilization = p.util;
+    g.avg_net_degree = p.avg_deg;
+    g.nets_per_cell = p.nets_per_cell;
+    g.num_ios = std::max(16, g.num_cells / 100);
+    return e;
+}
+
+}  // namespace
+
+std::vector<SuiteEntry> ispd2015_suite(double scale) {
+    std::vector<SuiteEntry> out;
+    for (const Profile& p : kProfiles) out.push_back(make_entry(p, scale));
+    return out;
+}
+
+std::vector<SuiteEntry> ablation_suite(double scale) {
+    // Congestion-prone designs: ablation effects show clearly (on designs
+    // with near-zero DRVs the per-design ratios are noise).
+    const std::vector<std::string> names = {
+        "des_perf_1", "des_perf_a", "edit_dist_a",
+        "matrix_mult_b", "matrix_mult_2", "superblue12",
+    };
+    std::vector<SuiteEntry> out;
+    for (const std::string& n : names) out.push_back(suite_entry(n, scale));
+    return out;
+}
+
+SuiteEntry suite_entry(const std::string& name, double scale) {
+    for (const Profile& p : kProfiles) {
+        if (name == p.name) return make_entry(p, scale);
+    }
+    throw std::out_of_range("ispd_suite: unknown design " + name);
+}
+
+}  // namespace rdp

@@ -1,0 +1,33 @@
+#pragma once
+// The 20-design "ISPD 2015-like" suite used by the Table I / Table II
+// benches. Each entry mirrors one contest design's name and its *relative*
+// character — size ordering, macro-heaviness, utilization (congestion
+// pressure) — scaled down so the whole suite places and routes on a CPU in
+// minutes. Designs whose fence regions the paper removed are flagged.
+
+#include <string>
+#include <vector>
+
+#include "benchgen/generator.hpp"
+
+namespace rdp {
+
+struct SuiteEntry {
+    std::string name;
+    GeneratorConfig gen;
+    bool fence_removed = false;  ///< the dagger (†) designs of Table I
+    int grid_bins = 64;          ///< placement/congestion grid per side
+};
+
+/// The full 20-design suite. `scale` multiplies cell counts (1.0 gives
+/// ~1.5k-12k cells per design; the benches pass smaller scales for smoke
+/// runs).
+std::vector<SuiteEntry> ispd2015_suite(double scale = 1.0);
+
+/// Subset used by the ablation bench (medium-sized, congested designs).
+std::vector<SuiteEntry> ablation_suite(double scale = 1.0);
+
+/// Look up one entry by name (throws std::out_of_range when missing).
+SuiteEntry suite_entry(const std::string& name, double scale = 1.0);
+
+}  // namespace rdp

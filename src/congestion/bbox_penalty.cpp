@@ -1,0 +1,115 @@
+#include "congestion/bbox_penalty.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wirelength/hpwl.hpp"
+
+namespace rdp {
+
+namespace {
+
+/// Integral of congestion along a vertical line at `x` over [ly, hy],
+/// divided by the bin area (the marginal penalty of widening the box by
+/// dx at that edge).
+double edge_rate_vertical(const CongestionMap& cmap, double x, double ly,
+                          double hy) {
+    const BinGrid& g = cmap.grid();
+    const GridIndex gx = g.index_of({x, std::clamp(ly, g.region().ly,
+                                                   g.region().hy)});
+    double acc = 0.0;
+    const int iy0 = g.index_of({x, ly}).iy;
+    const int iy1 = g.index_of({x, hy}).iy;
+    for (int iy = iy0; iy <= iy1; ++iy) {
+        const Rect b = g.bin_box(gx.ix, iy);
+        const double h = std::min(hy, b.hy) - std::max(ly, b.ly);
+        if (h <= 0.0) continue;
+        acc += cmap.congestion_at(gx.ix, iy) * h / g.bin_area();
+    }
+    return acc;
+}
+
+/// Horizontal counterpart: line at `y` over [lx, hx].
+double edge_rate_horizontal(const CongestionMap& cmap, double y, double lx,
+                            double hx) {
+    const BinGrid& g = cmap.grid();
+    const GridIndex gy = g.index_of({std::clamp(lx, g.region().lx,
+                                                g.region().hx),
+                                     y});
+    double acc = 0.0;
+    const int ix0 = g.index_of({lx, y}).ix;
+    const int ix1 = g.index_of({hx, y}).ix;
+    for (int ix = ix0; ix <= ix1; ++ix) {
+        const Rect b = g.bin_box(ix, gy.iy);
+        const double w = std::min(hx, b.hx) - std::max(lx, b.lx);
+        if (w <= 0.0) continue;
+        acc += cmap.congestion_at(ix, gy.iy) * w / g.bin_area();
+    }
+    return acc;
+}
+
+/// Nets narrower than one G-cell still occupy routing tracks there: give
+/// the box a minimum extent of one G-cell per dimension.
+Rect effective_bbox(Rect bb, const BinGrid& g) {
+    if (bb.width() < g.bin_w())
+        bb = Rect::from_center(bb.center(), g.bin_w(), bb.height());
+    if (bb.height() < g.bin_h())
+        bb = Rect::from_center(bb.center(), bb.width(), g.bin_h());
+    return bb;
+}
+
+}  // namespace
+
+double BBoxCongestionGradient::net_penalty(const Design& d, const Net& net,
+                                           const CongestionMap& cmap) const {
+    if (net.degree() < 2) return 0.0;
+    const Rect bb = effective_bbox(net_bbox(d, net), cmap.grid());
+    double acc = 0.0;
+    cmap.grid().for_each_overlap(bb, [&](int ix, int iy, double a) {
+        acc += cmap.congestion_at(ix, iy) * a / cmap.grid().bin_area();
+    });
+    return acc;
+}
+
+BBoxPenaltyResult BBoxCongestionGradient::compute(
+    const Design& d, const CongestionMap& cmap) const {
+    BBoxPenaltyResult res;
+    res.cell_grad.assign(static_cast<size_t>(d.num_cells()), Vec2{});
+
+    for (const Net& net : d.nets) {
+        if (net.degree() < 2 || net.degree() > cfg_.max_degree) continue;
+        const Rect bb = effective_bbox(net_bbox(d, net), cmap.grid());
+        const double p = net_penalty(d, net, cmap);
+        if (p <= 0.0) continue;  // nothing congested inside the box
+        res.penalty += p;
+        ++res.nets_penalized;
+
+        // Subgradient: each box edge moves with the extreme pin(s).
+        int pin_lx = -1, pin_hx = -1, pin_ly = -1, pin_hy = -1;
+        for (int pin : net.pins) {
+            const Vec2 pos = d.pin_position(pin);
+            if (pin_lx < 0 || pos.x < d.pin_position(pin_lx).x) pin_lx = pin;
+            if (pin_hx < 0 || pos.x > d.pin_position(pin_hx).x) pin_hx = pin;
+            if (pin_ly < 0 || pos.y < d.pin_position(pin_ly).y) pin_ly = pin;
+            if (pin_hy < 0 || pos.y > d.pin_position(pin_hy).y) pin_hy = pin;
+        }
+        // Widening dP/d(edge); shrinking is the negative direction.
+        const double r_hx = edge_rate_vertical(cmap, bb.hx, bb.ly, bb.hy);
+        const double r_lx = edge_rate_vertical(cmap, bb.lx, bb.ly, bb.hy);
+        const double r_hy = edge_rate_horizontal(cmap, bb.hy, bb.lx, bb.hx);
+        const double r_ly = edge_rate_horizontal(cmap, bb.ly, bb.lx, bb.hx);
+
+        auto add = [&](int pin, Vec2 g) {
+            const int cell = d.pins[static_cast<size_t>(pin)].cell;
+            if (!d.cells[static_cast<size_t>(cell)].movable()) return;
+            res.cell_grad[static_cast<size_t>(cell)] += g;
+        };
+        add(pin_hx, {r_hx, 0.0});
+        add(pin_lx, {-r_lx, 0.0});
+        add(pin_hy, {0.0, r_hy});
+        add(pin_ly, {0.0, -r_ly});
+    }
+    return res;
+}
+
+}  // namespace rdp

@@ -1,0 +1,53 @@
+#pragma once
+// Bounding-box congestion penalty — the prior approach (Lin et al.,
+// ICCAD'21 [2]) that the paper's differentiable net-moving replaces. Each
+// net is penalized by the Eq. (3) congestion it overlaps inside its
+// bounding box:
+//
+//   P(e) = sum_b C_b * A(BB(e) ∩ b) / A_b
+//
+// The (sub)gradient moves the bounding-box edges: shrinking or shifting
+// an edge changes the overlapped congestion by the congestion integral
+// along that edge strip, attributed to the pins that define the edge.
+//
+// The paper's Fig. 1(b) criticism is visible by construction: congestion
+// anywhere inside the box is charged to the net even when the net's
+// likely route never goes near it. The ablation bench
+// (ablation_dc_model) compares this model against net moving.
+
+#include <vector>
+
+#include "db/design.hpp"
+#include "grid/congestion_map.hpp"
+
+namespace rdp {
+
+struct BBoxPenaltyConfig {
+    /// Nets with more pins than this are skipped (their BB covers most of
+    /// the die and the model degenerates to a global drag).
+    int max_degree = 32;
+};
+
+struct BBoxPenaltyResult {
+    std::vector<Vec2> cell_grad;  ///< d(penalty)/d(cell center)
+    double penalty = 0.0;
+    int nets_penalized = 0;
+};
+
+class BBoxCongestionGradient {
+public:
+    explicit BBoxCongestionGradient(BBoxPenaltyConfig cfg = {}) : cfg_(cfg) {}
+
+    const BBoxPenaltyConfig& config() const { return cfg_; }
+
+    BBoxPenaltyResult compute(const Design& d, const CongestionMap& cmap) const;
+
+    /// Penalty of one net (exposed for tests).
+    double net_penalty(const Design& d, const Net& net,
+                       const CongestionMap& cmap) const;
+
+private:
+    BBoxPenaltyConfig cfg_;
+};
+
+}  // namespace rdp

@@ -1,0 +1,37 @@
+#include "congestion/congestion_field.hpp"
+
+#include <cassert>
+
+namespace rdp {
+
+CongestionField::CongestionField(BinGrid grid)
+    : grid_(grid), solver_(grid.nx(), grid.ny()) {}
+
+void CongestionField::build(const CongestionMap& cmap) {
+    assert(cmap.grid().nx() == grid_.nx() && cmap.grid().ny() == grid_.ny());
+    const GridF rho = cmap.utilization_grid();
+    const PoissonSolution sol = solver_.solve(rho);
+    psi_ = sol.potential;
+    ex_ = sol.field_x;
+    ey_ = sol.field_y;
+    built_ = true;
+}
+
+double CongestionField::potential_at(Vec2 p) const {
+    assert(built_);
+    return grid_.sample_bilinear(psi_, p);
+}
+
+Vec2 CongestionField::field_at(Vec2 p) const {
+    assert(built_);
+    const Vec2 e = grid_.sample_field(ex_, ey_, p);
+    // Spectral field is in grid-index units; convert to physical.
+    return {e.x / grid_.bin_w(), e.y / grid_.bin_h()};
+}
+
+Vec2 CongestionField::charge_gradient(Vec2 p, double area) const {
+    const Vec2 e = field_at(p);
+    return {-area * e.x, -area * e.y};
+}
+
+}  // namespace rdp

@@ -1,0 +1,48 @@
+#pragma once
+// Differentiable global congestion function (paper Section II-B).
+//
+// The router's Dmd/Cap ratio is used as the charge density of Poisson's
+// equation (1):
+//      rho_{m,n} = Dmd_{m,n} / Cap_{m,n}
+// and the resulting electric potential psi is the congestion potential. The
+// congestion penalty is C(x, y) = 1/2 sum_{i in V'} A_i psi_i over the set
+// V' of selected multi-pin cells and virtual cells, and the per-cell
+// congestion gradient is q grad(psi) = -q E, exactly as in the
+// electrostatic density model — but applied to congestion charge.
+
+#include "grid/bin_grid.hpp"
+#include "grid/congestion_map.hpp"
+#include "poisson/poisson.hpp"
+#include "util/geometry.hpp"
+
+namespace rdp {
+
+class CongestionField {
+public:
+    explicit CongestionField(BinGrid grid);
+
+    /// Solve Poisson's equation on rho = Dmd/Cap of the given map.
+    void build(const CongestionMap& cmap);
+
+    bool built() const { return built_; }
+    const BinGrid& grid() const { return grid_; }
+    const GridF& potential() const { return psi_; }
+
+    /// Electric potential at a point (bilinear).
+    double potential_at(Vec2 p) const;
+    /// Field E = -grad(psi) at a point, converted to physical units.
+    Vec2 field_at(Vec2 p) const;
+    /// Congestion gradient of a charge of area `area` at point p:
+    /// d/dp [area * psi(p)] = -area * E(p).
+    Vec2 charge_gradient(Vec2 p, double area) const;
+
+private:
+    BinGrid grid_;
+    PoissonSolver solver_;
+    GridF psi_;
+    GridF ex_;
+    GridF ey_;
+    bool built_ = false;
+};
+
+}  // namespace rdp

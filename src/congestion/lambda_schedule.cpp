@@ -1,0 +1,22 @@
+#include "congestion/lambda_schedule.hpp"
+
+#include <cmath>
+
+namespace rdp {
+
+double gradient_l1(const std::vector<Vec2>& grad) {
+    double acc = 0.0;
+    for (const Vec2& g : grad) acc += std::abs(g.x) + std::abs(g.y);
+    return acc;
+}
+
+double compute_lambda2(int num_congested_cells, int num_total_cells,
+                       double wirelength_grad_l1, double congestion_grad_l1) {
+    if (num_total_cells <= 0) return 0.0;
+    if (congestion_grad_l1 <= 0.0) return 0.0;
+    const double coeff =
+        2.0 * static_cast<double>(num_congested_cells) / num_total_cells;
+    return coeff * wirelength_grad_l1 / congestion_grad_l1;
+}
+
+}  // namespace rdp

@@ -1,0 +1,24 @@
+#pragma once
+// Adaptive congestion-penalty weight lambda_2 (paper Eq. (10)):
+//
+//   lambda_2 = (2 N_C / N) * ||grad W||_1 / ||grad C||_1
+//
+// When many cells sit in congested regions the weight grows and congestion
+// dominates; as congestion clears, the weight decays and wirelength takes
+// over again.
+
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace rdp {
+
+/// L1 norm of a gradient field (sum of |x| + |y| over all entries).
+double gradient_l1(const std::vector<Vec2>& grad);
+
+/// Eq. (10). Returns 0 when the congestion gradient vanishes (nothing to
+/// weight) or there are no cells.
+double compute_lambda2(int num_congested_cells, int num_total_cells,
+                       double wirelength_grad_l1, double congestion_grad_l1);
+
+}  // namespace rdp

@@ -1,0 +1,165 @@
+#include "congestion/net_moving.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "congestion/virtual_cell.hpp"
+#include "router/net_decompose.hpp"
+
+namespace rdp {
+
+VirtualCell NetMovingGradient::two_pin_gradient(
+    const Design& d, Vec2 p1, Vec2 p2, int cell1, int cell2,
+    double virtual_area, const CongestionMap& cmap,
+    const CongestionField& field, std::vector<Vec2>& grad) const {
+    (void)d;
+    // Alg. 1 line 1-2: virtual cell at the most congested candidate point.
+    const VirtualCell vc = find_virtual_cell(p1, p2, cmap);
+    if (!vc.valid || vc.congestion <= cfg_.min_virtual_congestion) return vc;
+
+    // Alg. 1 line 3: congestion gradient of c_v from the electric field
+    // model: grad C_cv = A_v * grad(psi) = -A_v * E.
+    const Vec2 grad_cv = field.charge_gradient(vc.pos, virtual_area);
+    if (grad_cv.norm2() == 0.0) return vc;
+
+    // Alg. 1 lines 4-5: segment length L and the unit normal n of the
+    // segment, oriented to form an acute angle with grad C_cv.
+    const Vec2 seg = p2 - p1;
+    const double len = seg.norm();
+    if (len <= 0.0) return vc;
+    Vec2 n = seg.perp() / len;
+    if (n.dot(grad_cv) < 0.0) n = n * -1.0;
+
+    // Alg. 1 lines 6-10 / Eq. (9): project the gradient onto n and scale by
+    // L / (2 d_iv) per endpoint.
+    const Vec2 grad_perp = n * n.dot(grad_cv);
+    const double diag =
+        std::hypot(cmap.grid().bin_w(), cmap.grid().bin_h());
+    const double dmin = cfg_.min_pin_distance_frac * diag;
+    const Vec2 pin_pos[2] = {p1, p2};
+    const int cells[2] = {cell1, cell2};
+    for (int i = 0; i < 2; ++i) {
+        const double div = std::max((pin_pos[i] - vc.pos).norm(), dmin);
+        const double scale =
+            std::min(len / (2.0 * div), cfg_.max_distance_scale);
+        grad[static_cast<size_t>(cells[i])] += grad_perp * scale;
+    }
+    return vc;
+}
+
+NetMovingResult NetMovingGradient::compute(const Design& d,
+                                           const CongestionMap& cmap,
+                                           const CongestionField& field) const {
+    assert(field.built());
+    NetMovingResult res;
+    res.cell_grad.assign(static_cast<size_t>(d.num_cells()), Vec2{});
+
+    // \bar{n}: average number of pins over all cells (Alg. 2 line 1).
+    const double avg_pins = d.average_pins_per_cell();
+    // Virtual cells have "the same size as a standard cell": use the mean
+    // movable cell area of the design.
+    double virtual_area = 0.0;
+    {
+        int n_mov = 0;
+        for (const Cell& c : d.cells) {
+            if (!c.movable()) continue;
+            virtual_area += c.area();
+            ++n_mov;
+        }
+        virtual_area = n_mov > 0 ? virtual_area / n_mov : 1.0;
+    }
+
+    // N_C for the lambda_2 schedule: movable cells in congested G-cells.
+    for (const Cell& c : d.cells) {
+        if (!c.movable()) continue;
+        if (cmap.congestion_at_point(c.pos) > 0.0) ++res.num_congested_cells;
+    }
+
+    for (const Net& net : d.nets) {
+        // Alg. 2 lines 4-6: two-pin nets get the net-moving gradient.
+        if (net.degree() == 2) {
+            const int pin1 = net.pins[0];
+            const int pin2 = net.pins[1];
+            const int c1 = d.pins[pin1].cell;
+            const int c2 = d.pins[pin2].cell;
+            const Vec2 p1 = d.pin_position(pin1);
+            const Vec2 p2 = d.pin_position(pin2);
+            // Only movable endpoints can be moved; a net between two fixed
+            // cells gets no gradient. Mixed nets still get the pivot so the
+            // movable endpoint is pushed.
+            if (d.cells[c1].movable() || d.cells[c2].movable()) {
+                const VirtualCell vc =
+                    two_pin_gradient(d, p1, p2, c1, c2, virtual_area, cmap,
+                                     field, res.cell_grad);
+                if (vc.valid && vc.congestion > cfg_.min_virtual_congestion) {
+                    ++res.virtual_cells_created;
+                    res.penalty +=
+                        0.5 * virtual_area * field.potential_at(vc.pos);
+                }
+            }
+        }
+        // Extension: net moving on the MST edges of multi-pin nets (off by
+        // default; the paper's Algorithm 2 only moves selected cells).
+        if (cfg_.move_multi_pin_edges && net.degree() >= 3 &&
+            net.degree() <= cfg_.max_multi_pin_degree) {
+            std::vector<Vec2> pts;
+            pts.reserve(net.pins.size());
+            for (int pin : net.pins) pts.push_back(d.pin_position(pin));
+            const double edge_weight = 1.0 / (net.degree() - 1);
+            for (const auto& [i, j] : manhattan_mst(pts)) {
+                const int ci = d.pins[net.pins[static_cast<size_t>(i)]].cell;
+                const int cj = d.pins[net.pins[static_cast<size_t>(j)]].cell;
+                if (!d.cells[static_cast<size_t>(ci)].movable() &&
+                    !d.cells[static_cast<size_t>(cj)].movable())
+                    continue;
+                // Scale just this edge's contribution: snapshot the two
+                // affected entries instead of clearing a full scratch grid.
+                const Vec2 gi0 = res.cell_grad[static_cast<size_t>(ci)];
+                const Vec2 gj0 = res.cell_grad[static_cast<size_t>(cj)];
+                const VirtualCell vc = two_pin_gradient(
+                    d, pts[static_cast<size_t>(i)],
+                    pts[static_cast<size_t>(j)], ci, cj, virtual_area, cmap,
+                    field, res.cell_grad);
+                if (!vc.valid ||
+                    vc.congestion <= cfg_.min_virtual_congestion) {
+                    res.cell_grad[static_cast<size_t>(ci)] = gi0;
+                    res.cell_grad[static_cast<size_t>(cj)] = gj0;
+                    continue;
+                }
+                ++res.virtual_cells_created;
+                res.penalty += 0.5 * edge_weight * virtual_area *
+                               field.potential_at(vc.pos);
+                auto& gi = res.cell_grad[static_cast<size_t>(ci)];
+                gi = gi0 + (gi - gi0) * edge_weight;
+                if (cj != ci) {
+                    auto& gj = res.cell_grad[static_cast<size_t>(cj)];
+                    gj = gj0 + (gj - gj0) * edge_weight;
+                }
+            }
+        }
+
+        // Alg. 2 lines 7-15: selected multi-pin cells on this net.
+        for (int pin : net.pins) {
+            const int ci = d.pins[pin].cell;
+            const Cell& cell = d.cells[static_cast<size_t>(ci)];
+            if (!cell.movable()) continue;
+            const int n_pins = static_cast<int>(cell.pins.size());
+            if (static_cast<double>(n_pins) <= avg_pins) continue;
+            const double cong = cmap.congestion_at_point(cell.pos);
+            if (cong <= cfg_.multi_pin_congestion_threshold) continue;
+            res.cell_grad[static_cast<size_t>(ci)] +=
+                field.charge_gradient(cell.pos, cell.area());
+            res.penalty += 0.5 * cell.area() * field.potential_at(cell.pos);
+            ++res.multi_pin_updates;
+        }
+    }
+
+    // Fixed cells never move: zero their gradients.
+    for (int i = 0; i < d.num_cells(); ++i) {
+        if (!d.cells[static_cast<size_t>(i)].movable())
+            res.cell_grad[static_cast<size_t>(i)] = Vec2{};
+    }
+    return res;
+}
+
+}  // namespace rdp

@@ -1,0 +1,56 @@
+#include "congestion/rudy.hpp"
+
+#include <algorithm>
+
+#include "wirelength/hpwl.hpp"
+
+namespace rdp {
+
+GridF rudy_map(const Design& d, const BinGrid& grid, const RudyConfig& cfg) {
+    GridF out = grid.make_grid();
+    const double mean_extent = 0.5 * (grid.bin_w() + grid.bin_h());
+    for (const Net& net : d.nets) {
+        if (net.degree() < 2 || net.degree() > cfg.max_degree) continue;
+        Rect bb = net_bbox(d, net);
+        // Degenerate boxes still occupy at least one G-cell of extent.
+        if (bb.width() < grid.bin_w())
+            bb = Rect::from_center(bb.center(), grid.bin_w(), bb.height());
+        if (bb.height() < grid.bin_h())
+            bb = Rect::from_center(bb.center(), bb.width(), grid.bin_h());
+        const double wl = bb.width() + bb.height();
+        const double area = bb.area();
+        if (area <= 0.0) continue;
+        // Track units: wirelength assigned to the bin / G-cell extent.
+        const double density = net.weight * wl / (area * mean_extent);
+        grid.for_each_overlap(bb, [&](int ix, int iy, double a) {
+            out.at(ix, iy) += density * a;
+        });
+    }
+    return out;
+}
+
+GridF pin_rudy_map(const Design& d, const BinGrid& grid,
+                   const RudyConfig& cfg) {
+    GridF out = grid.make_grid();
+    for (int p = 0; p < d.num_pins(); ++p) {
+        const GridIndex g = grid.index_of(d.pin_position(p));
+        out.at(g.ix, g.iy) += cfg.pin_weight;
+    }
+    return out;
+}
+
+CongestionMap rudy_congestion(const Design& d, const BinGrid& grid,
+                              const RouterConfig& router_cfg,
+                              const RudyConfig& cfg) {
+    GridF dmd = rudy_map(d, grid, cfg);
+    grid_add(dmd, pin_rudy_map(d, grid, cfg));
+
+    const GlobalRouter router(grid, router_cfg);
+    GridF cap_h, cap_v;
+    router.build_capacity(d, cap_h, cap_v);
+    GridF cap = cap_h;
+    grid_add(cap, cap_v);
+    return CongestionMap(grid, std::move(dmd), std::move(cap));
+}
+
+}  // namespace rdp

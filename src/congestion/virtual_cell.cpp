@@ -1,0 +1,37 @@
+#include "congestion/virtual_cell.hpp"
+
+#include <cmath>
+
+namespace rdp {
+
+VirtualCell find_virtual_cell(Vec2 p1, Vec2 p2, const CongestionMap& cmap) {
+    VirtualCell vc;
+    const double lx = cmap.grid().bin_w();
+    const double ly = cmap.grid().bin_h();
+
+    // Eq. (6): k = max(floor(|x1-x2|/l_x), floor(|y1-y2|/l_y)).
+    const int kx = static_cast<int>(std::floor(std::abs(p1.x - p2.x) / lx));
+    const int ky = static_cast<int>(std::floor(std::abs(p1.y - p2.y) / ly));
+    vc.k = std::max(kx, ky);
+    if (vc.k < 1) return vc;  // net stays inside one G-cell: no pivot
+
+    // Eq. (7)-(8): evenly spaced interior candidates; keep the one whose
+    // G-cell has the maximum Eq. (3) congestion.
+    double best_c = -1.0;
+    Vec2 best_pos;
+    for (int i = 1; i <= vc.k; ++i) {
+        const double t = static_cast<double>(i) / (vc.k + 1);
+        const Vec2 cand = p1 + t * (p2 - p1);
+        const double c = cmap.congestion_at_point(cand);
+        if (c > best_c) {
+            best_c = c;
+            best_pos = cand;
+        }
+    }
+    vc.valid = true;
+    vc.pos = best_pos;
+    vc.congestion = best_c;
+    return vc;
+}
+
+}  // namespace rdp

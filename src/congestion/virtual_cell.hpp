@@ -1,0 +1,24 @@
+#pragma once
+// Virtual-cell construction for two-pin net moving (paper Eq. (6)-(8) and
+// Fig. 3(a)). For a two-pin net, k candidate points are sampled evenly
+// along the pin-to-pin segment — one per traversed G-cell — and the
+// candidate in the most congested G-cell becomes the position of a virtual
+// standard cell c_v that serves as the pivot for the net-moving gradient.
+
+#include "grid/congestion_map.hpp"
+#include "util/geometry.hpp"
+
+namespace rdp {
+
+struct VirtualCell {
+    bool valid = false;      ///< false when k = 0 (net within one G-cell)
+    Vec2 pos;                ///< (x_v, y_v) of Eq. (8)
+    double congestion = 0.0; ///< Eq. (3) congestion at the chosen G-cell
+    int k = 0;               ///< number of candidates (Eq. (6))
+};
+
+/// Apply Eq. (6)-(8): k from G-cell spans, candidates at i/(k+1) fractions,
+/// winner by maximum congestion value.
+VirtualCell find_virtual_cell(Vec2 p1, Vec2 p2, const CongestionMap& cmap);
+
+}  // namespace rdp

@@ -1,0 +1,43 @@
+#include "db/design_stats.hpp"
+
+#include <ostream>
+
+namespace rdp {
+
+DesignStats compute_stats(const Design& d) {
+    DesignStats s;
+    for (const Cell& c : d.cells) {
+        switch (c.kind) {
+            case CellKind::Movable: ++s.num_movable; break;
+            case CellKind::Fixed: ++s.num_fixed; break;
+            case CellKind::Macro: ++s.num_macros; break;
+        }
+    }
+    s.num_nets = d.num_nets();
+    s.num_pins = d.num_pins();
+    long degree_sum = 0;
+    for (const Net& n : d.nets) {
+        const int deg = n.degree();
+        degree_sum += deg;
+        if (deg >= static_cast<int>(s.degree_histogram.size()))
+            s.degree_histogram.resize(static_cast<size_t>(deg) + 1, 0);
+        ++s.degree_histogram[static_cast<size_t>(deg)];
+    }
+    s.avg_net_degree =
+        d.num_nets() > 0 ? static_cast<double>(degree_sum) / d.num_nets() : 0.0;
+    s.avg_pins_per_cell = d.average_pins_per_cell();
+    s.utilization = d.utilization();
+    s.movable_area = d.total_movable_area();
+    s.fixed_area = d.total_fixed_area();
+    return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const DesignStats& s) {
+    os << "movable=" << s.num_movable << " fixed=" << s.num_fixed
+       << " macros=" << s.num_macros << " nets=" << s.num_nets
+       << " pins=" << s.num_pins << " avg_deg=" << s.avg_net_degree
+       << " util=" << s.utilization;
+    return os;
+}
+
+}  // namespace rdp

@@ -1,0 +1,33 @@
+#pragma once
+// Summary statistics of a design, used by the benchmark generator's tests
+// (to check that generated circuits hit their target distributions) and by
+// the bench harnesses' per-design header lines.
+
+#include <iosfwd>
+#include <vector>
+
+#include "db/design.hpp"
+
+namespace rdp {
+
+struct DesignStats {
+    int num_movable = 0;
+    int num_fixed = 0;
+    int num_macros = 0;
+    int num_nets = 0;
+    int num_pins = 0;
+    double avg_net_degree = 0.0;
+    double avg_pins_per_cell = 0.0;
+    double utilization = 0.0;
+    double movable_area = 0.0;
+    double fixed_area = 0.0;
+    /// net-degree histogram: index d holds the count of nets with degree d
+    /// (index 0 and 1 count degenerate nets).
+    std::vector<int> degree_histogram;
+};
+
+DesignStats compute_stats(const Design& d);
+
+std::ostream& operator<<(std::ostream& os, const DesignStats& s);
+
+}  // namespace rdp

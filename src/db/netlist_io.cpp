@@ -1,0 +1,135 @@
+#include "db/netlist_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rdp {
+
+namespace {
+const char* kind_tag(CellKind k) {
+    switch (k) {
+        case CellKind::Movable: return "mov";
+        case CellKind::Fixed: return "fix";
+        case CellKind::Macro: return "mac";
+    }
+    return "mov";
+}
+
+CellKind parse_kind(const std::string& s, int line) {
+    if (s == "mov") return CellKind::Movable;
+    if (s == "fix") return CellKind::Fixed;
+    if (s == "mac") return CellKind::Macro;
+    throw std::runtime_error("netlist_io: bad cell kind '" + s + "' at line " +
+                             std::to_string(line));
+}
+}  // namespace
+
+void write_design(const Design& d, std::ostream& os) {
+    os << "design " << d.name << "\n";
+    os << "region " << d.region.lx << " " << d.region.ly << " " << d.region.hx
+       << " " << d.region.hy << "\n";
+    os << "rowheight " << d.row_height << "\n";
+    os << "sitewidth " << d.site_width << "\n";
+    for (const Cell& c : d.cells) {
+        os << "cell " << c.name << " " << kind_tag(c.kind) << " " << c.width
+           << " " << c.height << " " << c.pos.x << " " << c.pos.y << "\n";
+    }
+    for (const Pin& p : d.pins) {
+        os << "pin " << p.cell << " " << p.offset.x << " " << p.offset.y
+           << "\n";
+    }
+    for (const Net& n : d.nets) {
+        os << "net " << n.name << " " << n.weight;
+        for (int p : n.pins) os << " " << p;
+        os << "\n";
+    }
+    for (const PGRail& r : d.pg_rails) {
+        os << "rail " << (r.orient == Orient::Horizontal ? "h" : "v") << " "
+           << r.box.lx << " " << r.box.ly << " " << r.box.hx << " " << r.box.hy
+           << "\n";
+    }
+    for (const Rect& b : d.routing_blockages) {
+        os << "blockage " << b.lx << " " << b.ly << " " << b.hx << " " << b.hy
+           << "\n";
+    }
+}
+
+void write_design_file(const Design& d, const std::string& path) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("netlist_io: cannot open " + path);
+    write_design(d, os);
+}
+
+Design read_design(std::istream& is) {
+    Design d;
+    std::string line;
+    int line_no = 0;
+    auto fail = [&](const std::string& msg) {
+        throw std::runtime_error("netlist_io: " + msg + " at line " +
+                                 std::to_string(line_no));
+    };
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream ss(line);
+        std::string tok;
+        ss >> tok;
+        if (tok == "design") {
+            ss >> d.name;
+        } else if (tok == "region") {
+            if (!(ss >> d.region.lx >> d.region.ly >> d.region.hx >>
+                  d.region.hy))
+                fail("bad region");
+        } else if (tok == "rowheight") {
+            if (!(ss >> d.row_height)) fail("bad rowheight");
+        } else if (tok == "sitewidth") {
+            if (!(ss >> d.site_width)) fail("bad sitewidth");
+        } else if (tok == "cell") {
+            std::string nm, kind;
+            double w, h, cx, cy;
+            if (!(ss >> nm >> kind >> w >> h >> cx >> cy)) fail("bad cell");
+            d.add_cell(nm, w, h, parse_kind(kind, line_no), {cx, cy});
+        } else if (tok == "pin") {
+            int cell;
+            double dx, dy;
+            if (!(ss >> cell >> dx >> dy)) fail("bad pin");
+            if (cell < 0 || cell >= d.num_cells()) fail("pin on missing cell");
+            d.add_pin(cell, {dx, dy});
+        } else if (tok == "net") {
+            std::string nm;
+            double wgt;
+            if (!(ss >> nm >> wgt)) fail("bad net");
+            const int net = d.add_net(nm, wgt);
+            int pin;
+            while (ss >> pin) {
+                if (pin < 0 || pin >= d.num_pins()) fail("net on missing pin");
+                d.connect(net, pin);
+            }
+        } else if (tok == "blockage") {
+            Rect b;
+            if (!(ss >> b.lx >> b.ly >> b.hx >> b.hy)) fail("bad blockage");
+            d.routing_blockages.push_back(b);
+        } else if (tok == "rail") {
+            std::string o;
+            Rect b;
+            if (!(ss >> o >> b.lx >> b.ly >> b.hx >> b.hy)) fail("bad rail");
+            PGRail r;
+            r.box = b;
+            r.orient = (o == "h") ? Orient::Horizontal : Orient::Vertical;
+            d.pg_rails.push_back(r);
+        } else {
+            fail("unknown directive '" + tok + "'");
+        }
+    }
+    d.build_rows();
+    return d;
+}
+
+Design read_design_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("netlist_io: cannot open " + path);
+    return read_design(is);
+}
+
+}  // namespace rdp

@@ -1,0 +1,32 @@
+#pragma once
+// Plain-text netlist serialization ("bookshelf-lite"). One file carries the
+// floorplan, cells, pins, nets, rows, and PG rails, so a generated benchmark
+// can be saved, diffed, and re-loaded deterministically.
+//
+// Format (line oriented, '#' comments):
+//   design <name>
+//   region <lx> <ly> <hx> <hy>
+//   rowheight <h>
+//   sitewidth <w>
+//   cell <name> <kind:mov|fix|mac> <w> <h> <cx> <cy>
+//   pin <cellIndex> <dx> <dy>
+//   net <name> <weight> <pinIndex> <pinIndex> ...
+//   rail <h|v> <lx> <ly> <hx> <hy>
+//   blockage <lx> <ly> <hx> <hy>
+
+#include <iosfwd>
+#include <string>
+
+#include "db/design.hpp"
+
+namespace rdp {
+
+void write_design(const Design& d, std::ostream& os);
+void write_design_file(const Design& d, const std::string& path);
+
+/// Parses a design; throws std::runtime_error with a line number on a
+/// malformed input.
+Design read_design(std::istream& is);
+Design read_design_file(const std::string& path);
+
+}  // namespace rdp

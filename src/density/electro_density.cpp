@@ -1,0 +1,137 @@
+#include "density/electro_density.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rdp {
+
+ElectroDensity::ElectroDensity(BinGrid grid, DensityConfig cfg)
+    : grid_(grid), cfg_(cfg), solver_(grid.nx(), grid.ny()) {}
+
+namespace {
+
+/// Effective rasterization box of a cell: dimensions inflated by sqrt(r)
+/// (area scales by r) and clamped up to one bin so sub-bin cells spread
+/// their charge smoothly, with the charge scale preserving total area.
+struct EffBox {
+    Rect box;
+    double scale;  ///< multiply overlap areas by this to conserve charge
+};
+
+EffBox effective_box(const Cell& c, double r, const BinGrid& g) {
+    const double lin = std::sqrt(std::max(r, 0.0));
+    const double w0 = c.width * lin;
+    const double h0 = c.height * lin;
+    const double w = std::max(w0, g.bin_w());
+    const double h = std::max(h0, g.bin_h());
+    const double target_area = c.area() * r;
+    const double scale = (w * h) > 0.0 ? target_area / (w * h) : 0.0;
+    return {Rect::from_center(c.pos, w, h), scale};
+}
+
+}  // namespace
+
+GridF ElectroDensity::movable_density(
+    const Design& d, const std::vector<double>* inflation) const {
+    GridF rho = grid_.make_grid();
+    for (int i = 0; i < d.num_cells(); ++i) {
+        const Cell& c = d.cells[i];
+        if (!c.movable()) continue;
+        const double r =
+            inflation != nullptr ? (*inflation)[static_cast<size_t>(i)] : 1.0;
+        const EffBox eb = effective_box(c, r, grid_);
+        grid_.splat_area(rho, eb.box, eb.scale);
+    }
+    return rho;
+}
+
+DensityResult ElectroDensity::evaluate(const Design& d,
+                                       const std::vector<double>* inflation,
+                                       const GridF* extra_density) const {
+    DensityResult res;
+    res.cell_grad.assign(static_cast<size_t>(d.num_cells()), Vec2{});
+
+    // Movable charge (with inflation) and fixed obstruction charge.
+    const GridF mov = movable_density(d, inflation);
+    GridF rho = mov;
+    GridF fixed = grid_.make_grid();
+    for (const Cell& c : d.cells) {
+        if (c.movable()) continue;
+        grid_.splat_area(fixed, c.bbox());
+    }
+    // Fixed area beyond the target density acts as full charge; this keeps
+    // macros repulsive without over-charging lightly blocked bins.
+    grid_add(rho, fixed);
+    if (extra_density != nullptr) {
+        assert(grid_.compatible(*extra_density));
+        grid_add(rho, *extra_density);
+    }
+    res.density = rho;
+
+    // Poisson solve on area-per-bin-area density (dimensionless).
+    GridF rho_norm = rho;
+    grid_scale(rho_norm, 1.0 / grid_.bin_area());
+    const PoissonSolution sol = solver_.solve(rho_norm);
+
+    // Field is in grid-index units; convert to physical units.
+    const double inv_bw = 1.0 / grid_.bin_w();
+    const double inv_bh = 1.0 / grid_.bin_h();
+
+    // Gather is the adjoint of the scatter: potential and field are
+    // integrated over each cell's (effective) charge footprint with the
+    // same overlap weights used to deposit the charge. The penalty sums
+    // over ALL charges (movable and fixed) — the system energy
+    // 1/2 sum q_i psi_i is only consistent with the per-cell gradient
+    // q grad(psi) when fixed charges' energy terms are included, since
+    // half of a movable-fixed interaction lives in the fixed term.
+    for (int i = 0; i < d.num_cells(); ++i) {
+        const Cell& c = d.cells[i];
+        const double r =
+            (c.movable() && inflation != nullptr)
+                ? (*inflation)[static_cast<size_t>(i)]
+                : 1.0;
+        const EffBox eb = c.movable() ? effective_box(c, r, grid_)
+                                      : EffBox{c.bbox(), 1.0};
+        double psi_acc = 0.0, ex_acc = 0.0, ey_acc = 0.0;
+        grid_.for_each_overlap(eb.box, [&](int ix, int iy, double a) {
+            const double w = a * eb.scale;
+            psi_acc += w * sol.potential.at(ix, iy);
+            if (c.movable()) {
+                ex_acc += w * sol.field_x.at(ix, iy);
+                ey_acc += w * sol.field_y.at(ix, iy);
+            }
+        });
+        res.penalty += 0.5 * psi_acc;
+        if (!c.movable()) continue;
+        // dD/dx_i = q_i d(psi)/dx = -q_i E, footprint-averaged and
+        // converted to physical units.
+        res.cell_grad[static_cast<size_t>(i)] =
+            Vec2{-ex_acc * inv_bw, -ey_acc * inv_bh};
+    }
+
+    // The extra (DPA) charge also carries its half of the interaction
+    // energy, keeping penalty and gradient consistent.
+    if (extra_density != nullptr) {
+        for (int y = 0; y < rho.height(); ++y)
+            for (int x = 0; x < rho.width(); ++x)
+                res.penalty +=
+                    0.5 * extra_density->at(x, y) * sol.potential.at(x, y);
+    }
+
+    // Normalized overflow tau = sum_b max(mov_b - target * free_b, 0) / mov.
+    double total_mov = 0.0, over = 0.0;
+    for (int y = 0; y < mov.height(); ++y) {
+        for (int x = 0; x < mov.width(); ++x) {
+            const double free_area =
+                std::max(grid_.bin_area() - fixed.at(x, y), 0.0);
+            total_mov += mov.at(x, y);
+            over += std::max(mov.at(x, y) - cfg_.target_density * free_area,
+                             0.0);
+        }
+    }
+    res.overflow = total_mov > 0.0 ? over / total_mov : 0.0;
+    return res;
+}
+
+}  // namespace rdp

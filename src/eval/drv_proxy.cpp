@@ -1,0 +1,96 @@
+#include "eval/drv_proxy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace rdp {
+
+DrvReport drv_proxy(const Design& d, const RouteResult& rr,
+                    const DrvProxyConfig& cfg) {
+    DrvReport rep;
+    const CongestionMap& cmap = rr.congestion;
+    const BinGrid& grid = cmap.grid();
+
+    // (a) wiring overflow beyond the detour slack, weighted by severity.
+    double overflow_acc = 0.0;
+    for (int y = 0; y < grid.ny(); ++y) {
+        for (int x = 0; x < grid.nx(); ++x) {
+            const double cap = cmap.capacity().at(x, y);
+            const double dmd = cmap.demand().at(x, y);
+            const double over = std::max(dmd - cfg.overflow_slack * cap, 0.0);
+            if (over <= 0.0) continue;
+            const double util = cap > 0.0 ? dmd / cap : 1.0;
+            overflow_acc += cfg.overflow_weight * over *
+                            std::pow(util, cfg.severity_exponent);
+        }
+    }
+    rep.overflow_drvs = static_cast<long long>(std::llround(overflow_acc));
+
+    // (b) pin density beyond the local escape budget.
+    GridF pin_count = grid.make_grid();
+    for (int p = 0; p < d.num_pins(); ++p) {
+        const GridIndex g = grid.index_of(d.pin_position(p));
+        pin_count.at(g.ix, g.iy) += 1.0;
+    }
+    double pin_acc = 0.0;
+    for (int y = 0; y < grid.ny(); ++y) {
+        for (int x = 0; x < grid.nx(); ++x) {
+            const double budget =
+                cfg.pins_per_capacity * cmap.capacity().at(x, y);
+            pin_acc += cfg.pin_density_weight *
+                       std::max(pin_count.at(x, y) - budget, 0.0);
+        }
+    }
+    rep.pin_density_drvs = static_cast<long long>(std::llround(pin_acc));
+
+    // (c) pins under PG rails in congested G-cells. Horizontal rails are
+    // indexed by their bottom edge so each pin costs a binary search.
+    std::vector<const PGRail*> horiz, vert;
+    for (const PGRail& r : d.pg_rails)
+        (r.orient == Orient::Horizontal ? horiz : vert).push_back(&r);
+    std::sort(horiz.begin(), horiz.end(),
+              [](const PGRail* a, const PGRail* b) {
+                  return a->box.ly < b->box.ly;
+              });
+    auto under_horiz = [&](Vec2 pos) {
+        auto it = std::upper_bound(
+            horiz.begin(), horiz.end(), pos.y,
+            [](double y, const PGRail* r) { return y < r->box.ly; });
+        // Rails starting at or below pos.y: check the closest few (rail
+        // thicknesses are uniform, so one step back suffices; use two for
+        // safety with cut rails sharing a boundary).
+        for (int back = 1; back <= 2; ++back) {
+            if (it == horiz.begin()) break;
+            const PGRail* r = *std::prev(it, back);
+            if (r->box.contains(pos)) return true;
+            if (static_cast<size_t>(back) >=
+                static_cast<size_t>(std::distance(horiz.begin(), it)))
+                break;
+        }
+        return false;
+    };
+    double pg_acc = 0.0;
+    for (int p = 0; p < d.num_pins(); ++p) {
+        const Vec2 pos = d.pin_position(p);
+        bool under_rail = under_horiz(pos);
+        if (!under_rail) {
+            for (const PGRail* r : vert) {
+                if (r->box.contains(pos)) {
+                    under_rail = true;
+                    break;
+                }
+            }
+        }
+        if (!under_rail) continue;
+        const GridIndex g = grid.index_of(pos);
+        const double util = cmap.utilization_at(g.ix, g.iy);
+        pg_acc += cfg.pg_pin_weight * std::max(util - cfg.pg_util_floor, 0.0);
+    }
+    rep.pg_access_drvs = static_cast<long long>(std::llround(pg_acc));
+
+    rep.total = rep.overflow_drvs + rep.pin_density_drvs + rep.pg_access_drvs;
+    return rep;
+}
+
+}  // namespace rdp

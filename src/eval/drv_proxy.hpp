@@ -1,0 +1,52 @@
+#pragma once
+// Detailed-routing violation (#DRVs) proxy.
+//
+// Innovus DRV counts on the ISPD 2015 benchmarks are dominated by
+//  (a) wiring overflow — demand beyond capacity forces illegal spacing /
+//      shorts in the overflowed G-cells,
+//  (b) pin-density hot spots — more pins than the local routing resources
+//      can escape cleanly,
+//  (c) pin-accessibility failures under M2 PG rails in congested regions
+//      (the failure mode the paper's DPA technique targets).
+// The proxy counts exactly these three phenomena from the evaluation
+// routing result, so placements are ranked by the same effects that rank
+// them after real detailed routing, even though the absolute counts differ.
+
+#include "db/design.hpp"
+#include "router/global_router.hpp"
+
+namespace rdp {
+
+struct DrvProxyConfig {
+    /// DRVs per unit of G-cell demand overflow (beyond the slack).
+    double overflow_weight = 2.0;
+    /// Demand up to slack * capacity is assumed fixable by detailed-routing
+    /// detours and contributes no DRVs; only demand beyond it counts.
+    double overflow_slack = 1.2;
+    /// Overflow is weighted by util^severity — violations concentrate
+    /// superlinearly in severe hotspots, which is what distinguishes
+    /// routability-driven placements after detailed routing.
+    double severity_exponent = 2.0;
+    /// Pins a G-cell can escape per unit of total routing capacity.
+    double pins_per_capacity = 1.5;
+    /// DRVs per excess pin beyond the escape budget.
+    double pin_density_weight = 1.0;
+    /// DRVs per pin under a PG rail, scaled by local utilization above
+    /// `pg_util_floor` (uncongested rail pins remain routable).
+    double pg_pin_weight = 1.0;
+    double pg_util_floor = 0.5;
+};
+
+struct DrvReport {
+    long long total = 0;
+    long long overflow_drvs = 0;
+    long long pin_density_drvs = 0;
+    long long pg_access_drvs = 0;
+};
+
+/// Score a routed placement. `rr` must come from routing `d` on grid
+/// `rr.congestion.grid()`.
+DrvReport drv_proxy(const Design& d, const RouteResult& rr,
+                    const DrvProxyConfig& cfg = {});
+
+}  // namespace rdp

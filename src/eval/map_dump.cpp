@@ -1,0 +1,41 @@
+#include "eval/map_dump.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace rdp {
+
+void write_pgm(const GridF& g, std::ostream& os, const MapDumpConfig& cfg) {
+    const int px = std::max(cfg.cell_pixels, 1);
+    const int w = g.width() * px;
+    const int h = g.height() * px;
+    const double vmax = cfg.max_value > 0.0 ? cfg.max_value : grid_max(g);
+
+    os << "P5\n" << w << " " << h << "\n255\n";
+    std::vector<unsigned char> row(static_cast<size_t>(w));
+    // Image rows top-to-bottom; grid row (height-1) is the top of the die.
+    for (int iy = g.height() - 1; iy >= 0; --iy) {
+        for (int ix = 0; ix < g.width(); ++ix) {
+            const double t =
+                vmax > 0.0 ? std::clamp(g.at(ix, iy) / vmax, 0.0, 1.0) : 0.0;
+            const auto v = static_cast<unsigned char>(std::lround(t * 255.0));
+            for (int k = 0; k < px; ++k)
+                row[static_cast<size_t>(ix * px + k)] = v;
+        }
+        for (int k = 0; k < px; ++k)
+            os.write(reinterpret_cast<const char*>(row.data()),
+                     static_cast<std::streamsize>(row.size()));
+    }
+}
+
+void write_pgm_file(const GridF& g, const std::string& path,
+                    const MapDumpConfig& cfg) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) throw std::runtime_error("map_dump: cannot open " + path);
+    write_pgm(g, os, cfg);
+}
+
+}  // namespace rdp

@@ -1,0 +1,27 @@
+#pragma once
+// Grid visualization: write scalar maps (density, congestion, potential)
+// as binary PGM images so results can be inspected with any image viewer
+// and diffed across runs. Row 0 of the grid is the bottom of the die and
+// is written as the bottom image row.
+
+#include <iosfwd>
+#include <string>
+
+#include "util/grid2d.hpp"
+
+namespace rdp {
+
+struct MapDumpConfig {
+    /// Pixels per grid cell (nearest-neighbor upscale for viewability).
+    int cell_pixels = 4;
+    /// Values at or above this fraction of the max map to white; <= 0
+    /// auto-scales to the grid maximum.
+    double max_value = 0.0;
+};
+
+/// Write `g` as an 8-bit binary PGM (P5).
+void write_pgm(const GridF& g, std::ostream& os, const MapDumpConfig& cfg = {});
+void write_pgm_file(const GridF& g, const std::string& path,
+                    const MapDumpConfig& cfg = {});
+
+}  // namespace rdp

@@ -1,0 +1,82 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rdp {
+
+namespace {
+const RunRecord* find_design(const std::vector<RunRecord>& runs,
+                             const std::string& design) {
+    for (const RunRecord& r : runs)
+        if (r.design == design) return &r;
+    return nullptr;
+}
+}  // namespace
+
+RatioSummary average_ratios(const std::vector<RunRecord>& runs,
+                            const std::vector<RunRecord>& reference,
+                            const std::vector<std::string>& skip_designs) {
+    RatioSummary s;
+    double drwl = 0.0, vias = 0.0, drvs = 0.0, pt = 0.0, rt = 0.0;
+    int n = 0, n_drv = 0;
+    for (const RunRecord& r : runs) {
+        const RunRecord* ref = find_design(reference, r.design);
+        if (ref == nullptr) continue;
+        ++n;
+        if (ref->drwl > 0.0) drwl += r.drwl / ref->drwl;
+        if (ref->vias > 0) vias += static_cast<double>(r.vias) / ref->vias;
+        if (ref->place_seconds > 0.0) pt += r.place_seconds / ref->place_seconds;
+        if (ref->route_seconds > 0.0) rt += r.route_seconds / ref->route_seconds;
+        const bool skipped =
+            std::find(skip_designs.begin(), skip_designs.end(), r.design) !=
+            skip_designs.end();
+        if (!skipped && ref->drvs > 0) {
+            drvs += static_cast<double>(r.drvs) / ref->drvs;
+            ++n_drv;
+        }
+    }
+    if (n > 0) {
+        s.drwl = drwl / n;
+        s.vias = vias / n;
+        s.place_time = pt / n;
+        s.route_time = rt / n;
+        s.designs = n;
+    }
+    if (n_drv > 0) s.drvs = drvs / n_drv;
+    return s;
+}
+
+Table make_comparison_table(
+    const std::vector<std::vector<RunRecord>>& placers) {
+    std::vector<std::string> header = {"Design"};
+    for (const auto& runs : placers) {
+        const std::string p = runs.empty() ? "?" : runs.front().placer;
+        header.push_back(p + " DRWL");
+        header.push_back(p + " #Vias");
+        header.push_back(p + " #DRVs");
+        header.push_back(p + " PT/s");
+        header.push_back(p + " RT/s");
+    }
+    Table t(header);
+    if (placers.empty() || placers.front().empty()) return t;
+    for (const RunRecord& first : placers.front()) {
+        std::vector<std::string> row = {first.design};
+        for (const auto& runs : placers) {
+            const RunRecord* r = find_design(runs, first.design);
+            if (r == nullptr) {
+                for (int i = 0; i < 5; ++i) row.push_back("-");
+                continue;
+            }
+            row.push_back(Table::fmt(r->drwl, 0));
+            row.push_back(Table::fmt_int(r->vias));
+            row.push_back(Table::fmt_int(r->drvs));
+            row.push_back(Table::fmt(r->place_seconds, 2));
+            row.push_back(Table::fmt(r->route_seconds, 2));
+        }
+        t.add_row(std::move(row));
+    }
+    return t;
+}
+
+}  // namespace rdp

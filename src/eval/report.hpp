@@ -1,0 +1,46 @@
+#pragma once
+// Table assembly helpers for the bench harnesses: per-design rows in the
+// style of paper Table I and the "Avg. Ratio" summary rows of Tables I/II.
+
+#include <string>
+#include <vector>
+
+#include "eval/route_metrics.hpp"
+#include "util/table.hpp"
+
+namespace rdp {
+
+/// One placer's results on one design.
+struct RunRecord {
+    std::string design;
+    std::string placer;
+    double drwl = 0.0;
+    long long vias = 0;
+    long long drvs = 0;
+    double place_seconds = 0.0;
+    double route_seconds = 0.0;
+};
+
+/// Mean of per-design metric ratios vs a reference placer (the paper
+/// normalizes each column to "Ours"). Zero-valued reference entries are
+/// skipped.
+struct RatioSummary {
+    double drwl = 0.0;
+    double vias = 0.0;
+    double drvs = 0.0;
+    double place_time = 0.0;
+    double route_time = 0.0;
+    int designs = 0;
+};
+
+/// Compute average ratios of `runs` against `reference` (matched by design
+/// name). `skip_designs` lists designs excluded from the mean (the paper
+/// excludes superblue12 for Xplace's DRV ratio).
+RatioSummary average_ratios(const std::vector<RunRecord>& runs,
+                            const std::vector<RunRecord>& reference,
+                            const std::vector<std::string>& skip_designs = {});
+
+/// Paper-Table-I-style table: one row per design per placer.
+Table make_comparison_table(const std::vector<std::vector<RunRecord>>& placers);
+
+}  // namespace rdp

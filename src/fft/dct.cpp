@@ -1,0 +1,167 @@
+#include "fft/dct.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "fft/fft.hpp"
+
+namespace rdp {
+
+// Forward DCT-II via Makhoul's even/odd reordering and an N-point FFT:
+//   v[n]     = x[2n]          n = 0..ceil(N/2)-1
+//   v[N-1-n] = x[2n+1]        n = 0..floor(N/2)-1
+//   X[k]     = Re( e^{-i pi k / (2N)} FFT(v)[k] )
+std::vector<double> dct2(const std::vector<double>& x) {
+    const int n = static_cast<int>(x.size());
+    assert(is_pow2(n));
+    std::vector<Complex> v(n);
+    for (int i = 0; i * 2 < n; ++i) v[i] = x[2 * i];
+    for (int i = 0; i * 2 + 1 < n; ++i) v[n - 1 - i] = x[2 * i + 1];
+    fft(v, /*inverse=*/false);
+    std::vector<double> out(n);
+    for (int k = 0; k < n; ++k) {
+        const double ang = -M_PI * k / (2.0 * n);
+        out[k] = v[k].real() * std::cos(ang) - v[k].imag() * std::sin(ang);
+    }
+    return out;
+}
+
+// Exact inverse of dct2 (reverses Makhoul's steps). Uses the Hermitian
+// symmetry of the FFT of the real sequence v:
+//   Z[k] = X[k] - i X[N-k]  (Z[0] = X[0]),  V[k] = e^{+i pi k/(2N)} Z[k]
+std::vector<double> idct2(const std::vector<double>& X) {
+    const int n = static_cast<int>(X.size());
+    assert(is_pow2(n));
+    std::vector<Complex> v(n);
+    for (int k = 0; k < n; ++k) {
+        const double re = X[k];
+        const double im = (k == 0) ? 0.0 : -X[n - k];
+        const double ang = M_PI * k / (2.0 * n);
+        const Complex z(re, im);
+        v[k] = z * Complex(std::cos(ang), std::sin(ang));
+    }
+    fft(v, /*inverse=*/true);
+    std::vector<double> out(n);
+    for (int i = 0; i * 2 < n; ++i) out[2 * i] = v[i].real();
+    for (int i = 0; i * 2 + 1 < n; ++i) out[2 * i + 1] = v[n - 1 - i].real();
+    return out;
+}
+
+// dct3 is the transpose of dct2. With D = diag(N, N/2, ..., N/2) the DCT-II
+// matrix M satisfies M M^T = D, hence M^T a = M^{-1} (D a) = idct2(D a).
+std::vector<double> dct3(const std::vector<double>& a) {
+    const int n = static_cast<int>(a.size());
+    assert(is_pow2(n));
+    std::vector<double> scaled(n);
+    scaled[0] = a[0] * n;
+    for (int k = 1; k < n; ++k) scaled[k] = a[k] * (n / 2.0);
+    return idct2(scaled);
+}
+
+// Sine-series evaluation from the cosine-series evaluator via the identity
+//   sin(pi k (2n+1)/(2N)) = (-1)^n cos(pi (N-k) (2n+1)/(2N)),
+// so idxst(b) = (-1)^n dct3(c) with c[0] = 0 and c[k] = b[N-k] for k >= 1.
+// (The k = 0 sine term vanishes; the k = N cosine term also vanishes.)
+std::vector<double> idxst(const std::vector<double>& b) {
+    const int n = static_cast<int>(b.size());
+    assert(is_pow2(n));
+    std::vector<double> c(n, 0.0);
+    for (int k = 1; k < n; ++k) c[k] = b[n - k];
+    std::vector<double> y = dct3(c);
+    for (int i = 1; i < n; i += 2) y[i] = -y[i];
+    return y;
+}
+
+DctWorkspace::DctWorkspace(int n)
+    : n_(n),
+      buf_(static_cast<size_t>(n)),
+      twiddle_cos_(static_cast<size_t>(n)),
+      twiddle_sin_(static_cast<size_t>(n)),
+      tmp_(static_cast<size_t>(n)) {
+    assert(is_pow2(n));
+    for (int k = 0; k < n; ++k) {
+        const double ang = M_PI * k / (2.0 * n);
+        twiddle_cos_[static_cast<size_t>(k)] = std::cos(ang);
+        twiddle_sin_[static_cast<size_t>(k)] = std::sin(ang);
+    }
+}
+
+void DctWorkspace::dct2(double* x) {
+    const int n = n_;
+    for (int i = 0; i * 2 < n; ++i) buf_[static_cast<size_t>(i)] = x[2 * i];
+    for (int i = 0; i * 2 + 1 < n; ++i)
+        buf_[static_cast<size_t>(n - 1 - i)] = x[2 * i + 1];
+    fft(buf_, /*inverse=*/false);
+    for (int k = 0; k < n; ++k) {
+        x[k] = buf_[static_cast<size_t>(k)].real() *
+                   twiddle_cos_[static_cast<size_t>(k)] +
+               buf_[static_cast<size_t>(k)].imag() *
+                   twiddle_sin_[static_cast<size_t>(k)];
+    }
+}
+
+void DctWorkspace::idct2(double* x) {
+    const int n = n_;
+    for (int k = 0; k < n; ++k) {
+        const double re = x[k];
+        const double im = (k == 0) ? 0.0 : -x[n - k];
+        const double c = twiddle_cos_[static_cast<size_t>(k)];
+        const double s = twiddle_sin_[static_cast<size_t>(k)];
+        buf_[static_cast<size_t>(k)] = {re * c - im * s, re * s + im * c};
+    }
+    fft(buf_, /*inverse=*/true);
+    for (int i = 0; i * 2 < n; ++i)
+        x[2 * i] = buf_[static_cast<size_t>(i)].real();
+    for (int i = 0; i * 2 + 1 < n; ++i)
+        x[2 * i + 1] = buf_[static_cast<size_t>(n - 1 - i)].real();
+}
+
+void DctWorkspace::dct3(double* x) {
+    const int n = n_;
+    x[0] *= static_cast<double>(n);
+    for (int k = 1; k < n; ++k) x[k] *= n / 2.0;
+    idct2(x);
+}
+
+void DctWorkspace::idxst(double* x) {
+    const int n = n_;
+    tmp_[0] = 0.0;
+    for (int k = 1; k < n; ++k) tmp_[static_cast<size_t>(k)] = x[n - k];
+    std::copy(tmp_.begin(), tmp_.end(), x);
+    dct3(x);
+    for (int i = 1; i < n; i += 2) x[i] = -x[i];
+}
+
+namespace naive {
+
+std::vector<double> dct2(const std::vector<double>& x) {
+    const int n = static_cast<int>(x.size());
+    std::vector<double> out(n, 0.0);
+    for (int k = 0; k < n; ++k)
+        for (int i = 0; i < n; ++i)
+            out[k] += x[i] * std::cos(M_PI * k * (2 * i + 1) / (2.0 * n));
+    return out;
+}
+
+std::vector<double> dct3(const std::vector<double>& a) {
+    const int n = static_cast<int>(a.size());
+    std::vector<double> out(n, 0.0);
+    for (int i = 0; i < n; ++i)
+        for (int k = 0; k < n; ++k)
+            out[i] += a[k] * std::cos(M_PI * k * (2 * i + 1) / (2.0 * n));
+    return out;
+}
+
+std::vector<double> idxst(const std::vector<double>& b) {
+    const int n = static_cast<int>(b.size());
+    std::vector<double> out(n, 0.0);
+    for (int i = 0; i < n; ++i)
+        for (int k = 0; k < n; ++k)
+            out[i] += b[k] * std::sin(M_PI * k * (2 * i + 1) / (2.0 * n));
+    return out;
+}
+
+}  // namespace naive
+
+}  // namespace rdp

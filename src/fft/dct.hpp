@@ -1,0 +1,54 @@
+#pragma once
+// Fast cosine/sine transforms built on the radix-2 FFT (Makhoul's N-point
+// method). Conventions (unnormalized, N = input length, power of two):
+//
+//   dct2(x)[k]   = sum_{n=0}^{N-1} x[n] cos(pi k (2n+1) / (2N))
+//   dct3(a)[n]   = sum_{k=0}^{N-1} a[k] cos(pi k (2n+1) / (2N))
+//   idct2(X)     = exact inverse of dct2 (round-trip identity)
+//   idxst(b)[n]  = sum_{k=0}^{N-1} b[k] sin(pi k (2n+1) / (2N))
+//
+// dct3 evaluates a cosine series at half-integer sample points; idxst
+// evaluates the matching sine series. These are exactly the evaluations the
+// ePlace spectral Poisson solution needs for the potential (cos x cos) and
+// the field components (sin x cos / cos x sin).
+
+#include <complex>
+#include <vector>
+
+namespace rdp {
+
+std::vector<double> dct2(const std::vector<double>& x);
+std::vector<double> idct2(const std::vector<double>& X);
+std::vector<double> dct3(const std::vector<double>& a);
+std::vector<double> idxst(const std::vector<double>& b);
+
+/// Allocation-free transform engine for hot loops (the Poisson solver runs
+/// four 2D transforms per solve, once per placement iteration): one
+/// workspace per length, transforms performed in place on caller storage.
+class DctWorkspace {
+public:
+    explicit DctWorkspace(int n);
+
+    int size() const { return n_; }
+
+    void dct2(double* x);   ///< in-place forward DCT-II
+    void idct2(double* x);  ///< in-place inverse of dct2
+    void dct3(double* x);   ///< in-place cosine-series evaluation
+    void idxst(double* x);  ///< in-place sine-series evaluation
+
+private:
+    int n_;
+    std::vector<std::complex<double>> buf_;
+    std::vector<double> twiddle_cos_;  ///< cos(pi k / (2N))
+    std::vector<double> twiddle_sin_;  ///< sin(pi k / (2N))
+    std::vector<double> tmp_;
+};
+
+/// Reference O(N^2) implementations used for validation in tests.
+namespace naive {
+std::vector<double> dct2(const std::vector<double>& x);
+std::vector<double> dct3(const std::vector<double>& a);
+std::vector<double> idxst(const std::vector<double>& b);
+}  // namespace naive
+
+}  // namespace rdp

@@ -1,0 +1,54 @@
+#include "fft/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rdp {
+
+int next_pow2(int n) {
+    int p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+void fft(std::vector<Complex>& a, bool inverse) {
+    const int n = static_cast<int>(a.size());
+    assert(is_pow2(n));
+    if (n <= 1) return;
+
+    // Bit-reversal permutation.
+    for (int i = 1, j = 0; i < n; ++i) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(a[i], a[j]);
+    }
+
+    for (int len = 2; len <= n; len <<= 1) {
+        const double ang = 2.0 * M_PI / len * (inverse ? 1.0 : -1.0);
+        const Complex wlen(std::cos(ang), std::sin(ang));
+        for (int i = 0; i < n; i += len) {
+            Complex w(1.0, 0.0);
+            for (int j = 0; j < len / 2; ++j) {
+                const Complex u = a[i + j];
+                const Complex v = a[i + j + len / 2] * w;
+                a[i + j] = u + v;
+                a[i + j + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        const double inv = 1.0 / n;
+        for (auto& x : a) x *= inv;
+    }
+}
+
+std::vector<Complex> fft_real(const std::vector<double>& x) {
+    std::vector<Complex> a(x.begin(), x.end());
+    fft(a, /*inverse=*/false);
+    return a;
+}
+
+}  // namespace rdp

@@ -1,0 +1,30 @@
+#pragma once
+// Iterative radix-2 complex FFT. Power-of-two sizes only; the placement bin
+// grids are chosen to be powers of two so this restriction never bites.
+//
+// This is the transform engine underneath the DCT/DST routines used by the
+// spectral Poisson solver (ePlace density field and the paper's congestion
+// field, both solved via Eq. (1)).
+
+#include <complex>
+#include <vector>
+
+namespace rdp {
+
+using Complex = std::complex<double>;
+
+/// True if n is a power of two (n >= 1).
+constexpr bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n.
+int next_pow2(int n);
+
+/// In-place FFT of a power-of-two-sized buffer.
+/// Forward: X[k] = sum_n x[n] e^{-2πikn/N}.
+/// Inverse: includes the 1/N normalization, so ifft(fft(x)) == x.
+void fft(std::vector<Complex>& a, bool inverse);
+
+/// Convenience out-of-place forward transform of a real signal.
+std::vector<Complex> fft_real(const std::vector<double>& x);
+
+}  // namespace rdp

@@ -1,0 +1,62 @@
+#include "grid/bin_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rdp {
+
+BinGrid::BinGrid(Rect region, int nx, int ny)
+    : region_(region), nx_(nx), ny_(ny) {
+    assert(nx > 0 && ny > 0 && !region.empty());
+    bin_w_ = region.width() / nx;
+    bin_h_ = region.height() / ny;
+}
+
+GridIndex BinGrid::index_of(Vec2 p) const {
+    int ix = static_cast<int>(std::floor((p.x - region_.lx) / bin_w_));
+    int iy = static_cast<int>(std::floor((p.y - region_.ly) / bin_h_));
+    ix = std::clamp(ix, 0, nx_ - 1);
+    iy = std::clamp(iy, 0, ny_ - 1);
+    return {ix, iy};
+}
+
+Rect BinGrid::bin_box(int ix, int iy) const {
+    const double lx = region_.lx + ix * bin_w_;
+    const double ly = region_.ly + iy * bin_h_;
+    return {lx, ly, lx + bin_w_, ly + bin_h_};
+}
+
+Vec2 BinGrid::bin_center(int ix, int iy) const {
+    return {region_.lx + (ix + 0.5) * bin_w_, region_.ly + (iy + 0.5) * bin_h_};
+}
+
+void BinGrid::splat_area(GridF& g, const Rect& r, double scale) const {
+    assert(compatible(g));
+    for_each_overlap(r, [&](int ix, int iy, double a) {
+        g.at(ix, iy) += a * scale;
+    });
+}
+
+double BinGrid::sample_bilinear(const GridF& g, Vec2 p) const {
+    assert(compatible(g));
+    // Convert to continuous bin-center coordinates.
+    const double fx = (p.x - region_.lx) / bin_w_ - 0.5;
+    const double fy = (p.y - region_.ly) / bin_h_ - 0.5;
+    const int x0 = static_cast<int>(std::floor(fx));
+    const int y0 = static_cast<int>(std::floor(fy));
+    const double tx = fx - x0;
+    const double ty = fy - y0;
+    const double v00 = g.at_clamped(x0, y0);
+    const double v10 = g.at_clamped(x0 + 1, y0);
+    const double v01 = g.at_clamped(x0, y0 + 1);
+    const double v11 = g.at_clamped(x0 + 1, y0 + 1);
+    return v00 * (1 - tx) * (1 - ty) + v10 * tx * (1 - ty) +
+           v01 * (1 - tx) * ty + v11 * tx * ty;
+}
+
+Vec2 BinGrid::sample_field(const GridF& fx, const GridF& fy, Vec2 p) const {
+    return {sample_bilinear(fx, p), sample_bilinear(fy, p)};
+}
+
+}  // namespace rdp

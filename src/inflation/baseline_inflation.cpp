@@ -1,0 +1,55 @@
+#include "inflation/baseline_inflation.hpp"
+
+#include <algorithm>
+
+namespace rdp {
+
+CurrentOnlyInflation::CurrentOnlyInflation(int num_cells,
+                                           BaselineInflationConfig cfg)
+    : cfg_(cfg) {
+    reset(num_cells);
+}
+
+void CurrentOnlyInflation::reset(int num_cells) {
+    r_.assign(static_cast<size_t>(num_cells), 1.0);
+}
+
+void CurrentOnlyInflation::update(const Design& d, const CongestionMap& cmap) {
+    for (int i = 0; i < d.num_cells(); ++i) {
+        const Cell& c = d.cells[static_cast<size_t>(i)];
+        if (!c.movable()) continue;
+        const double cong = cmap.congestion_at_point(c.pos);
+        r_[static_cast<size_t>(i)] =
+            std::clamp(1.0 + cfg_.beta * cong, 1.0, cfg_.r_max);
+    }
+}
+
+MonotoneInflation::MonotoneInflation(int num_cells,
+                                     BaselineInflationConfig cfg)
+    : cfg_(cfg) {
+    reset(num_cells);
+}
+
+void MonotoneInflation::reset(int num_cells) {
+    r_.assign(static_cast<size_t>(num_cells), 1.0);
+}
+
+void MonotoneInflation::update(const Design& d, const CongestionMap& cmap) {
+    for (int i = 0; i < d.num_cells(); ++i) {
+        const Cell& c = d.cells[static_cast<size_t>(i)];
+        if (!c.movable()) continue;
+        const double cong = cmap.congestion_at_point(c.pos);
+        auto& r = r_[static_cast<size_t>(i)];
+        r = std::clamp(r + cfg_.beta * cong, 1.0, cfg_.r_max);
+    }
+}
+
+NoInflation::NoInflation(int num_cells) { reset(num_cells); }
+
+void NoInflation::reset(int num_cells) {
+    r_.assign(static_cast<size_t>(num_cells), 1.0);
+}
+
+void NoInflation::update(const Design&, const CongestionMap&) {}
+
+}  // namespace rdp

@@ -1,0 +1,63 @@
+#pragma once
+// Baseline cell-inflation schemes reproduced for comparison / ablation:
+//
+//  * CurrentOnlyInflation — DREAMPlace / RePlAce style: the ratio depends
+//    only on the *current* congestion, so a cell that leaves a hotspot is
+//    instantly deflated and drifts back in ("moving cells back into
+//    congested areas", paper Section I).
+//  * MonotoneInflation — Xplace-Route / NTUplace4dr style: ratios only ever
+//    grow with accumulated congestion, which over-inflates cells that have
+//    long since left the hotspot (paper Section I).
+//  * NoInflation — identity ratios (the pure Xplace baseline).
+
+#include "inflation/momentum_inflation.hpp"
+
+namespace rdp {
+
+struct BaselineInflationConfig {
+    double r_max = 2.0;
+    /// Ratio gain per unit of congestion.
+    double beta = 0.3;
+};
+
+class CurrentOnlyInflation final : public InflationScheme {
+public:
+    explicit CurrentOnlyInflation(int num_cells,
+                                  BaselineInflationConfig cfg = {});
+    void update(const Design& d, const CongestionMap& cmap) override;
+    const std::vector<double>& ratios() const override { return r_; }
+    void reset(int num_cells) override;
+    const char* name() const override { return "current-only"; }
+
+private:
+    BaselineInflationConfig cfg_;
+    std::vector<double> r_;
+};
+
+class MonotoneInflation final : public InflationScheme {
+public:
+    explicit MonotoneInflation(int num_cells,
+                               BaselineInflationConfig cfg = {});
+    void update(const Design& d, const CongestionMap& cmap) override;
+    const std::vector<double>& ratios() const override { return r_; }
+    void reset(int num_cells) override;
+    const char* name() const override { return "monotone"; }
+
+private:
+    BaselineInflationConfig cfg_;
+    std::vector<double> r_;
+};
+
+class NoInflation final : public InflationScheme {
+public:
+    explicit NoInflation(int num_cells);
+    void update(const Design& d, const CongestionMap& cmap) override;
+    const std::vector<double>& ratios() const override { return r_; }
+    void reset(int num_cells) override;
+    const char* name() const override { return "none"; }
+
+private:
+    std::vector<double> r_;
+};
+
+}  // namespace rdp

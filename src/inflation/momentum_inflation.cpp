@@ -1,0 +1,58 @@
+#include "inflation/momentum_inflation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rdp {
+
+MomentumInflation::MomentumInflation(int num_cells,
+                                     MomentumInflationConfig cfg)
+    : cfg_(cfg) {
+    reset(num_cells);
+}
+
+void MomentumInflation::reset(int num_cells) {
+    t_ = 0;
+    r_.assign(static_cast<size_t>(num_cells), 1.0);
+    dr_.assign(static_cast<size_t>(num_cells), 0.0);
+    prev_c_.assign(static_cast<size_t>(num_cells), 0.0);
+    prev_avg_ = 0.0;
+}
+
+double MomentumInflation::delta(double c_prev, double c_now, double avg_prev,
+                                double avg_now) const {
+    // Deflation branch: the cell moved from above-average congestion to
+    // below-average congestion between the two inflation iterations.
+    if (c_now < avg_now && c_prev > avg_prev) {
+        const double ap = std::max(avg_prev, cfg_.min_avg_congestion);
+        const double an = std::max(avg_now, cfg_.min_avg_congestion);
+        const double strength = std::abs(c_prev / ap - c_now / an);
+        return -std::min(strength, cfg_.max_deflation);
+    }
+    return 1.0;
+}
+
+void MomentumInflation::update(const Design& d, const CongestionMap& cmap) {
+    const double avg_now = cmap.average_congestion();
+    const int n = d.num_cells();
+    for (int i = 0; i < n; ++i) {
+        const Cell& cell = d.cells[static_cast<size_t>(i)];
+        if (!cell.movable()) continue;
+        const double c_now = cmap.congestion_at_point(cell.pos);
+        const size_t si = static_cast<size_t>(i);
+        const double g = cfg_.congestion_gain;
+        if (t_ == 0) {
+            dr_[si] = g * c_now;  // paper: dr^1 = C^1 (scaled by the gain)
+        } else {
+            const double s =
+                delta(prev_c_[si], c_now, prev_avg_, avg_now) * g * c_now;
+            dr_[si] = cfg_.alpha * dr_[si] + (1.0 - cfg_.alpha) * s;
+        }
+        r_[si] = std::clamp(r_[si] + dr_[si], cfg_.r_min, cfg_.r_max);
+        prev_c_[si] = c_now;
+    }
+    prev_avg_ = avg_now;
+    ++t_;
+}
+
+}  // namespace rdp

@@ -1,0 +1,20 @@
+#pragma once
+// Abacus-style row refinement (Spindler et al.): after Tetris assigns each
+// cell a row, every row segment is re-packed optimally for quadratic
+// displacement from the cells' global-placement positions, using the
+// classic cluster-merging algorithm. Rows and cell-to-row assignment are
+// kept; only x positions change, so legality is preserved.
+
+#include <vector>
+
+#include "db/design.hpp"
+
+namespace rdp {
+
+/// Re-pack every row. `desired` holds the target center positions (size
+/// num_cells, usually the pre-legalization global placement); cells keep
+/// their current rows. Returns total |x - desired_x| displacement after
+/// refinement.
+double abacus_refine(Design& d, const std::vector<Vec2>& desired);
+
+}  // namespace rdp

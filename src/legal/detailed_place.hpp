@@ -1,0 +1,31 @@
+#pragma once
+// Greedy detailed placement: local moves on the legalized placement that
+// reduce HPWL without breaking legality. Two move types per pass:
+//   * swap of two cells adjacent in a row (when both still fit),
+//   * shift of a cell inside the free gap around it to its locally optimal
+//     x (median of connected-net bounding boxes), snapped to sites.
+// This mirrors the (much more elaborate) routability-driven detailed
+// placement the paper borrows from Xplace-Route closely enough for the
+// relative comparisons.
+
+#include "db/design.hpp"
+
+namespace rdp {
+
+struct DetailedPlaceConfig {
+    int max_passes = 3;
+    /// Stop a pass early when the relative HPWL improvement drops below this.
+    double min_improvement = 1e-4;
+};
+
+struct DetailedPlaceStats {
+    int swaps = 0;
+    int shifts = 0;
+    double hpwl_before = 0.0;
+    double hpwl_after = 0.0;
+};
+
+DetailedPlaceStats detailed_place(Design& d,
+                                  const DetailedPlaceConfig& cfg = {});
+
+}  // namespace rdp

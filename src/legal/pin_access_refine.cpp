@@ -1,0 +1,80 @@
+#include "legal/pin_access_refine.hpp"
+
+#include <cmath>
+
+#include "wirelength/hpwl.hpp"
+
+namespace rdp {
+
+namespace {
+
+/// Weighted HPWL of the nets touching one cell.
+double cell_nets_hpwl(const Design& d, int cell) {
+    double acc = 0.0;
+    for (int pin : d.cells[static_cast<size_t>(cell)].pins) {
+        const int net = d.pins[static_cast<size_t>(pin)].net;
+        if (net < 0) continue;
+        acc += d.nets[static_cast<size_t>(net)].weight *
+               net_hpwl(d, d.nets[static_cast<size_t>(net)]);
+    }
+    return acc;
+}
+
+/// Mirror the cell's pins about its horizontal center line.
+void flip_vertical(Design& d, int cell) {
+    for (int pin : d.cells[static_cast<size_t>(cell)].pins)
+        d.pins[static_cast<size_t>(pin)].offset.y =
+            -d.pins[static_cast<size_t>(pin)].offset.y;
+}
+
+}  // namespace
+
+int pins_under_rails(const Design& d, int cell,
+                     const std::vector<PGRail>& rails) {
+    int count = 0;
+    const Rect cell_box = d.cells[static_cast<size_t>(cell)].bbox();
+    for (int pin : d.cells[static_cast<size_t>(cell)].pins) {
+        const Vec2 pos = d.pin_position(pin);
+        for (const PGRail& r : rails) {
+            if (!r.box.intersects(cell_box.expanded(1.0))) continue;
+            if (r.box.contains(pos)) {
+                ++count;
+                break;
+            }
+        }
+    }
+    return count;
+}
+
+PinAccessRefineStats pin_access_refine(Design& d,
+                                       const std::vector<PGRail>& rails,
+                                       const PinAccessRefineConfig& cfg) {
+    PinAccessRefineStats stats;
+    if (rails.empty()) return stats;
+
+    for (int ci = 0; ci < d.num_cells(); ++ci) {
+        const Cell& c = d.cells[static_cast<size_t>(ci)];
+        if (!c.movable() || c.pins.empty()) continue;
+        const int before = pins_under_rails(d, ci, rails);
+        if (before == 0) continue;
+        ++stats.cells_considered;
+
+        const double hpwl_before = cell_nets_hpwl(d, ci);
+        flip_vertical(d, ci);
+        const int after = pins_under_rails(d, ci, rails);
+        const double hpwl_after = cell_nets_hpwl(d, ci);
+        const bool accept =
+            after < before &&
+            hpwl_after <=
+                hpwl_before * (1.0 + cfg.max_hpwl_increase_frac) + 1e-9;
+        if (accept) {
+            ++stats.flips;
+            stats.pins_freed += before - after;
+        } else {
+            flip_vertical(d, ci);  // revert
+        }
+    }
+    return stats;
+}
+
+}  // namespace rdp

@@ -1,0 +1,40 @@
+#pragma once
+// EXTENSION (beyond the paper): detailed-placement pin-access refinement.
+//
+// The paper optimizes pin accessibility during *global* placement (DPA)
+// and cites cell flipping / shifting at the detailed-placement stage as
+// the prior approach ([11]-[13]). This pass implements the classic flip
+// move: a cell whose pins land under horizontal PG rails is mirrored
+// vertically (pin offsets y -> -y) when that frees pins without hurting
+// wirelength. It composes with DPA: global placement clears congested
+// rail regions, flipping cleans up the stragglers.
+
+#include <vector>
+
+#include "db/design.hpp"
+
+namespace rdp {
+
+struct PinAccessRefineConfig {
+    /// A flip is accepted only if the cell's connected-net HPWL grows by
+    /// at most this fraction.
+    double max_hpwl_increase_frac = 0.002;
+};
+
+struct PinAccessRefineStats {
+    int cells_considered = 0;  ///< movable cells with pins under rails
+    int flips = 0;
+    int pins_freed = 0;        ///< rail-covered pins removed by flipping
+};
+
+/// Flip cells to move their pins off the given (selected) PG rails.
+/// Only pin offsets change; positions and legality are untouched.
+PinAccessRefineStats pin_access_refine(Design& d,
+                                       const std::vector<PGRail>& rails,
+                                       const PinAccessRefineConfig& cfg = {});
+
+/// Number of `cell`'s pins lying inside any of the rails.
+int pins_under_rails(const Design& d, int cell,
+                     const std::vector<PGRail>& rails);
+
+}  // namespace rdp

@@ -1,0 +1,34 @@
+#include "pinaccess/dynamic_density.hpp"
+
+#include <cassert>
+
+namespace rdp {
+
+GridF rail_area_per_bin(const std::vector<PGRail>& selected,
+                        const BinGrid& grid) {
+    GridF area = grid.make_grid();
+    for (const PGRail& r : selected) grid.splat_area(area, r.box);
+    return area;
+}
+
+GridF dynamic_pg_density(const GridF& rail_area, const CongestionMap& cmap) {
+    assert(cmap.grid().compatible(rail_area));
+    const double avg = cmap.average_congestion();
+    GridF extra(rail_area.width(), rail_area.height());
+    for (int y = 0; y < extra.height(); ++y) {
+        for (int x = 0; x < extra.width(); ++x) {
+            const double c = cmap.congestion_at(x, y);
+            const double eta = c > avg ? 1.0 : 0.0;  // Eq. (15)
+            extra.at(x, y) = eta * (1.0 + c) * rail_area.at(x, y);
+        }
+    }
+    return extra;
+}
+
+GridF static_pg_density(const GridF& rail_area, double weight) {
+    GridF extra = rail_area;
+    grid_scale(extra, weight);
+    return extra;
+}
+
+}  // namespace rdp

@@ -1,0 +1,36 @@
+#pragma once
+// Dynamic pin-accessibility density adjustment (paper Section III-C step 2,
+// Eq. (13)-(15)). The extra density of bin b is
+//
+//   D_b^PG = eta_b (1 + C_b) / A_b * sum_{i in V_PG} A_{PG_i  cap  b},
+//   eta_b  = 1 if C_b > avg(C) else 0,
+//
+// i.e. selected-rail area in a bin counts as extra charge only while that
+// bin is more congested than average, weighted up by its congestion. The
+// density module consumes the extra charge in *area* units, so this file
+// returns eta_b (1 + C_b) * railarea_b per bin.
+//
+// The static variant (rail area added everywhere with a constant weight,
+// computed once before placement) reproduces Xplace-Route's pre-placement
+// PG adjustment for the baseline/ablation comparison.
+
+#include <vector>
+
+#include "db/design.hpp"
+#include "grid/bin_grid.hpp"
+#include "grid/congestion_map.hpp"
+
+namespace rdp {
+
+/// Rasterize selected-rail area per bin (the sum term of Eq. (14)).
+GridF rail_area_per_bin(const std::vector<PGRail>& selected,
+                        const BinGrid& grid);
+
+/// Eq. (13)-(15) dynamic extra charge (area units) per bin.
+/// `rail_area` must come from rail_area_per_bin on the same grid.
+GridF dynamic_pg_density(const GridF& rail_area, const CongestionMap& cmap);
+
+/// Xplace-Route-style static adjustment: weight * rail area, no gating.
+GridF static_pg_density(const GridF& rail_area, double weight = 1.0);
+
+}  // namespace rdp

@@ -1,0 +1,44 @@
+#include "pinaccess/pg_rails.hpp"
+
+namespace rdp {
+
+void build_pg_rails(Design& d, const PGRailConfig& cfg) {
+    d.pg_rails.clear();
+    const double w = cfg.rail_width_frac * d.row_height;
+
+    // Horizontal rails on row boundaries (VDD/VSS alternate; for placement
+    // density purposes only the geometry matters).
+    for (size_t i = 0; i < d.rows.size(); i += static_cast<size_t>(cfg.row_step)) {
+        const Row& r = d.rows[i];
+        PGRail rail;
+        rail.orient = Orient::Horizontal;
+        rail.box = Rect{r.lx, r.y - w / 2, r.hx, r.y + w / 2};
+        d.pg_rails.push_back(rail);
+    }
+    // Top boundary of the last row.
+    if (!d.rows.empty()) {
+        const Row& r = d.rows.back();
+        PGRail rail;
+        rail.orient = Orient::Horizontal;
+        rail.box =
+            Rect{r.lx, r.y + r.height - w / 2, r.hx, r.y + r.height + w / 2};
+        d.pg_rails.push_back(rail);
+    }
+
+    // Vertical power straps.
+    if (cfg.vertical_straps > 0) {
+        const double sw = cfg.strap_width_frac * d.region.width();
+        for (int i = 0; i < cfg.vertical_straps; ++i) {
+            const double x = d.region.lx + d.region.width() *
+                                               (i + 1.0) /
+                                               (cfg.vertical_straps + 1.0);
+            PGRail rail;
+            rail.orient = Orient::Vertical;
+            rail.box =
+                Rect{x - sw / 2, d.region.ly, x + sw / 2, d.region.hy};
+            d.pg_rails.push_back(rail);
+        }
+    }
+}
+
+}  // namespace rdp

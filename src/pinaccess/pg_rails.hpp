@@ -1,0 +1,30 @@
+#pragma once
+// Power/ground rail geometry. The ISPD 2015 designs carry M2 PG rails along
+// every standard-cell row (plus occasional vertical straps); cells whose
+// pins end up under these rails are hard to reach from M1 (paper Section
+// III-C). The generator calls this to give synthetic designs the same rail
+// structure the paper's DPA technique targets.
+
+#include <vector>
+
+#include "db/design.hpp"
+
+namespace rdp {
+
+struct PGRailConfig {
+    /// Rail thickness as a fraction of the row height.
+    double rail_width_frac = 0.15;
+    /// Horizontal rail every `row_step` row boundaries (1 = every row).
+    int row_step = 1;
+    /// Number of vertical power straps distributed across the region
+    /// (0 disables them).
+    int vertical_straps = 4;
+    /// Vertical strap thickness as a fraction of the region width.
+    double strap_width_frac = 0.004;
+};
+
+/// Build the PG rail set for a design with rows already constructed and
+/// store it in d.pg_rails (replacing any existing rails).
+void build_pg_rails(Design& d, const PGRailConfig& cfg = {});
+
+}  // namespace rdp

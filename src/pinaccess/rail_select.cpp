@@ -1,0 +1,55 @@
+#include "pinaccess/rail_select.hpp"
+
+namespace rdp {
+
+std::vector<PGRail> cut_rail(const PGRail& rail,
+                             const std::vector<Rect>& blockers) {
+    // Work along the rail's axis: collect blocker intervals that actually
+    // overlap the rail's cross-section, then subtract.
+    const bool horiz = rail.orient == Orient::Horizontal;
+    const Interval base = horiz ? Interval{rail.box.lx, rail.box.hx}
+                                : Interval{rail.box.ly, rail.box.hy};
+    std::vector<Interval> cuts;
+    for (const Rect& b : blockers) {
+        if (!b.intersects(rail.box)) continue;
+        cuts.push_back(horiz ? Interval{b.lx, b.hx} : Interval{b.ly, b.hy});
+    }
+    std::vector<PGRail> out;
+    for (const Interval& piece : subtract_intervals(base, std::move(cuts))) {
+        PGRail p = rail;
+        if (horiz) {
+            p.box.lx = piece.lo;
+            p.box.hx = piece.hi;
+        } else {
+            p.box.ly = piece.lo;
+            p.box.hy = piece.hi;
+        }
+        out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<PGRail> select_pg_rails(const Design& d,
+                                    const RailSelectConfig& cfg) {
+    std::vector<Rect> blockers;
+    for (const Cell& c : d.cells) {
+        if (!c.is_macro()) continue;
+        blockers.push_back(
+            c.bbox().scaled_about_center(1.0 + cfg.macro_expand_frac));
+    }
+
+    const double min_h = cfg.min_length_frac * d.region.width();
+    const double min_v = cfg.min_length_frac * d.region.height();
+
+    std::vector<PGRail> selected;
+    for (const PGRail& rail : d.pg_rails) {
+        for (const PGRail& piece : cut_rail(rail, blockers)) {
+            const double min_len =
+                piece.orient == Orient::Horizontal ? min_h : min_v;
+            if (piece.length() >= min_len) selected.push_back(piece);
+        }
+    }
+    return selected;
+}
+
+}  // namespace rdp

@@ -1,0 +1,33 @@
+#pragma once
+// PG rail selection for pin-accessibility (paper Section III-C step 1,
+// Fig. 4). Indiscriminately raising density under every rail would choke
+// the already-tight channels between macros, so:
+//   1. every macro bounding box is expanded by 10%,
+//   2. the expanded boxes cut the projected rails into pieces,
+//   3. only pieces at least 0.2x the placement region's width (horizontal
+//      rails) or height (vertical rails) survive.
+
+#include <vector>
+
+#include "db/design.hpp"
+
+namespace rdp {
+
+struct RailSelectConfig {
+    /// Macro bounding-box expansion factor (paper: 10%).
+    double macro_expand_frac = 0.10;
+    /// Minimum surviving rail length as a fraction of the region extent in
+    /// the rail's direction (paper: 0.2).
+    double min_length_frac = 0.20;
+};
+
+/// Cut one rail by a set of blocking rectangles; returns surviving pieces
+/// (any length — the length filter is applied by select_pg_rails).
+std::vector<PGRail> cut_rail(const PGRail& rail,
+                             const std::vector<Rect>& blockers);
+
+/// Full selection: expand macros, cut all rails, filter by length.
+std::vector<PGRail> select_pg_rails(const Design& d,
+                                    const RailSelectConfig& cfg = {});
+
+}  // namespace rdp

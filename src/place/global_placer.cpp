@@ -1,0 +1,175 @@
+#include "place/global_placer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "fft/fft.hpp"
+#include "legal/abacus.hpp"
+#include "legal/pin_access_refine.hpp"
+#include "place/nesterov.hpp"
+#include "place/objective.hpp"
+#include "place/routability_loop.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "wirelength/hpwl.hpp"
+
+namespace rdp {
+
+int GlobalPlacer::add_fillers(Design& d, const PlacerConfig& cfg,
+                              uint64_t seed) {
+    const int first = d.num_cells();
+    const double free_area = d.region.area() - d.total_fixed_area();
+    const double spare =
+        cfg.density.target_density * free_area - d.total_movable_area();
+    if (spare <= 0.0) return first;
+
+    // Filler size: mean movable cell dimensions.
+    double mean_w = 0.0, mean_h = d.row_height;
+    int n_mov = 0;
+    for (const Cell& c : d.cells) {
+        if (!c.movable()) continue;
+        mean_w += c.width;
+        ++n_mov;
+    }
+    if (n_mov == 0) return first;
+    mean_w /= n_mov;
+    const double fa = mean_w * mean_h;
+    const int count =
+        static_cast<int>(std::floor(cfg.filler_ratio * spare / fa));
+
+    Rng rng(seed ^ 0xF117E55ull);
+    for (int i = 0; i < count; ++i) {
+        const Vec2 p{rng.uniform(d.region.lx + mean_w / 2,
+                                 d.region.hx - mean_w / 2),
+                     rng.uniform(d.region.ly + mean_h / 2,
+                                 d.region.hy - mean_h / 2)};
+        d.add_cell("__filler_" + std::to_string(i), mean_w, mean_h,
+                   CellKind::Movable, p);
+    }
+    return first;
+}
+
+PlaceResult GlobalPlacer::place(const Design& input) const {
+    const auto t0 = std::chrono::steady_clock::now();
+    PlaceResult res;
+
+    Design d = input;
+    if (d.rows.empty()) d.build_rows();
+
+    // Initial positions: movable cells near the centroid of fixed pins
+    // (or the region center), with a small deterministic spread.
+    {
+        Vec2 centroid = d.region.center();
+        Rng rng(cfg_.seed);
+        const double sx = d.region.width() * 0.08;
+        const double sy = d.region.height() * 0.08;
+        for (Cell& c : d.cells) {
+            if (!c.movable()) continue;
+            c.pos = {centroid.x + rng.normal(0.0, sx),
+                     centroid.y + rng.normal(0.0, sy)};
+        }
+        d.clamp_movables_to_region();
+    }
+
+    const int first_filler = add_fillers(d, cfg_, cfg_.seed);
+    std::vector<int> movable = d.movable_cells();
+
+    // Shared grid for density, G-cells, and congestion (paper II-B).
+    const int bins = next_pow2(cfg_.grid_bins);
+    const BinGrid grid(d.region, bins, bins);
+    PlacementObjective obj(grid, cfg_.density, cfg_.netmove,
+                           cfg_.gamma_frac *
+                               std::max(grid.bin_w(), grid.bin_h()));
+
+    auto project = [&](size_t slot, Vec2 p) {
+        const Cell& c = d.cells[static_cast<size_t>(movable[slot])];
+        const Rect r = d.region;
+        return Vec2{std::clamp(p.x, r.lx + c.width / 2, r.hx - c.width / 2),
+                    std::clamp(p.y, r.ly + c.height / 2, r.hy - c.height / 2)};
+    };
+
+    // ---- Stage 1: wirelength-driven GP ------------------------------------
+    {
+        std::vector<Vec2> pos(movable.size());
+        for (size_t i = 0; i < movable.size(); ++i)
+            pos[i] = d.cells[static_cast<size_t>(movable[i])].pos;
+        NesterovSolver solver(pos);
+        std::vector<Vec2> grad;
+
+        const double gamma0 =
+            cfg_.gamma_frac * std::max(grid.bin_w(), grid.bin_h());
+        const double gamma_min =
+            cfg_.gamma_min_frac * std::max(grid.bin_w(), grid.bin_h());
+        double gamma = gamma0;
+
+        // lambda_1 initialization: ||grad W||_1 / ||grad D||_1.
+        obj.set_lambda1(0.0);
+        {
+            const ObjectiveTerms t0terms =
+                obj.evaluate(d, movable, solver.reference(), grad);
+            const double l1 =
+                t0terms.density_grad_l1 > 0.0
+                    ? t0terms.wl_grad_l1 / t0terms.density_grad_l1
+                    : 1.0;
+            obj.set_lambda1(l1);
+        }
+
+        for (int it = 0; it < cfg_.max_wl_iters; ++it) {
+            const ObjectiveTerms terms =
+                obj.evaluate(d, movable, solver.reference(), grad);
+            res.overflow_history.push_back(terms.overflow);
+            solver.step(grad, project);
+            obj.set_lambda1(obj.lambda1() * cfg_.lambda1_growth);
+            gamma = std::max(gamma * cfg_.gamma_decay, gamma_min);
+            obj.set_gamma(gamma);
+            ++res.wl_iters;
+            if (cfg_.verbose && it % 50 == 0) {
+                RDP_LOG_INFO() << "[wl-iter " << it << "] overflow="
+                               << terms.overflow << " WA=" << terms.wirelength;
+            }
+            if (terms.overflow < cfg_.stop_overflow && it > 20) break;
+        }
+        const std::vector<Vec2>& sol = solver.solution();
+        for (size_t i = 0; i < movable.size(); ++i)
+            d.cells[static_cast<size_t>(movable[i])].pos = sol[i];
+    }
+
+    // ---- Stage 2: routability-driven GP ------------------------------------
+    if (cfg_.mode != PlacerMode::WirelengthOnly) {
+        // PG rail selection from macro positions (Fig. 2 pre-process).
+        const std::vector<PGRail> rails = select_pg_rails(d, cfg_.rail_select);
+        const RoutabilityStats rs =
+            run_routability_stage(d, movable, obj, cfg_, rails, first_filler);
+        res.route_outer_iters = rs.outer_iters;
+        res.congestion_history = rs.total_overflow;
+        res.penalty_history = rs.penalty;
+    }
+
+    // ---- Legalization + detailed placement ---------------------------------
+    // Strip fillers (they were appended last and own no pins).
+    d.cells.resize(static_cast<size_t>(first_filler));
+    d.clamp_movables_to_region();
+    res.hpwl_gp = total_hpwl(d);
+
+    std::vector<Vec2> desired(static_cast<size_t>(d.num_cells()));
+    for (int i = 0; i < d.num_cells(); ++i)
+        desired[static_cast<size_t>(i)] = d.cells[static_cast<size_t>(i)].pos;
+
+    res.legal_stats = tetris_legalize(d, cfg_.tetris);
+    abacus_refine(d, desired);
+    res.dp_stats = detailed_place(d, cfg_.dp);
+    if (cfg_.enable_pin_access_dp) {
+        const std::vector<PGRail> rails = select_pg_rails(d, cfg_.rail_select);
+        pin_access_refine(d, rails);
+    }
+    res.hpwl_final = total_hpwl(d);
+
+    res.placed = std::move(d);
+    const auto t1 = std::chrono::steady_clock::now();
+    res.place_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return res;
+}
+
+}  // namespace rdp

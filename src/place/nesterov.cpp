@@ -1,0 +1,62 @@
+#include "place/nesterov.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rdp {
+
+NesterovSolver::NesterovSolver(std::vector<Vec2> initial, NesterovConfig cfg)
+    : cfg_(cfg), u_(initial), v_(std::move(initial)) {}
+
+void NesterovSolver::step(const std::vector<Vec2>& grad,
+                          const std::function<Vec2(size_t, Vec2)>& project) {
+    assert(grad.size() == v_.size());
+    const size_t n = v_.size();
+
+    // Steplength: BB inverse-Lipschitz estimate once history exists, with
+    // growth clamped so one noisy estimate cannot blow up the trajectory.
+    double alpha = cfg_.initial_step;
+    if (have_prev_) {
+        double dv2 = 0.0, dg2 = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            dv2 += (v_[i] - prev_v_[i]).norm2();
+            dg2 += (grad[i] - prev_g_[i]).norm2();
+        }
+        if (dg2 > 0.0) alpha = std::sqrt(dv2 / dg2);
+        if (!(alpha > 0.0) || !std::isfinite(alpha)) alpha = cfg_.initial_step;
+        if (last_alpha_ > 0.0)
+            alpha = std::min(alpha, cfg_.max_step_growth * last_alpha_);
+    }
+    alpha = std::clamp(alpha, cfg_.min_step, cfg_.max_step);
+    last_alpha_ = alpha;
+
+    // Adaptive restart (O'Donoghue & Candes): when the gradient points
+    // along the momentum direction, the momentum is carrying the iterate
+    // uphill — drop it. Prevents the oscillation/divergence BB steps can
+    // trigger on ill-conditioned objectives.
+    if (have_prev_) {
+        double along = 0.0;
+        for (size_t i = 0; i < n; ++i) along += grad[i].dot(v_[i] - u_[i]);
+        if (along > 0.0) a_ = 1.0;
+    }
+
+    prev_v_ = v_;
+    prev_g_ = grad;
+    have_prev_ = true;
+
+    // u_{k+1} = v_k - alpha grad; v_{k+1} = u_{k+1} + coef (u_{k+1} - u_k).
+    const double a_next = (1.0 + std::sqrt(4.0 * a_ * a_ + 1.0)) / 2.0;
+    const double coef = (a_ - 1.0) / a_next;
+    for (size_t i = 0; i < n; ++i) {
+        Vec2 u_next = v_[i] - grad[i] * alpha;
+        if (project) u_next = project(i, u_next);
+        Vec2 v_next = u_next + (u_next - u_[i]) * coef;
+        if (project) v_next = project(i, v_next);
+        u_[i] = u_next;
+        v_[i] = v_next;
+    }
+    a_ = a_next;
+    ++k_;
+}
+
+}  // namespace rdp

@@ -1,0 +1,230 @@
+#include "place/routability_loop.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "congestion/rudy.hpp"
+#include "pinaccess/dynamic_density.hpp"
+#include "util/log.hpp"
+
+namespace rdp {
+
+std::unique_ptr<InflationScheme> make_inflation_scheme(const PlacerConfig& cfg,
+                                                       int num_cells) {
+    if (cfg.mode == PlacerMode::Ours && cfg.enable_mci)
+        return std::make_unique<MomentumInflation>(num_cells, cfg.mci);
+    // Baseline framework (Xplace-Route-like) and the no-MCI ablation rows
+    // use the monotone historical scheme the paper attributes to [8]/[9].
+    return std::make_unique<MonotoneInflation>(num_cells,
+                                               cfg.baseline_inflation);
+}
+
+double budget_inflation(const Design& d, int first_filler,
+                        std::vector<double>& ratios,
+                        double usable_filler_frac, double extra_area) {
+    double raw_extra = 0.0;
+    for (int i = 0; i < first_filler; ++i) {
+        const Cell& c = d.cells[static_cast<size_t>(i)];
+        if (!c.movable()) continue;
+        raw_extra += c.area() * (ratios[static_cast<size_t>(i)] - 1.0);
+    }
+    double filler_area = 0.0;
+    for (int i = first_filler; i < d.num_cells(); ++i)
+        filler_area += d.cells[static_cast<size_t>(i)].area();
+
+    // The PG density charge comes off the top of the budget.
+    const double budget = std::max(
+        usable_filler_frac * filler_area - extra_area, 0.0);
+    if (raw_extra > budget && raw_extra > 0.0) {
+        const double scale = budget / raw_extra;
+        for (int i = 0; i < first_filler; ++i) {
+            const Cell& c = d.cells[static_cast<size_t>(i)];
+            if (!c.movable()) continue;
+            auto& r = ratios[static_cast<size_t>(i)];
+            r = 1.0 + scale * (r - 1.0);
+        }
+    }
+    // Fillers shrink by exactly the area the real cells and the PG charge
+    // gained (never below a small floor).
+    const double consumed =
+        std::min(std::max(raw_extra, 0.0), budget) +
+        std::min(extra_area, usable_filler_frac * filler_area);
+    const double filler_ratio =
+        filler_area > 0.0
+            ? std::max(1.0 - consumed / filler_area, 0.05)
+            : 1.0;
+    for (int i = first_filler; i < d.num_cells(); ++i)
+        ratios[static_cast<size_t>(i)] = filler_ratio;
+    return filler_ratio;
+}
+
+RoutabilityStats run_routability_stage(
+    Design& d, const std::vector<int>& movable, PlacementObjective& obj,
+    const PlacerConfig& cfg, const std::vector<PGRail>& selected_rails,
+    int first_filler) {
+    RoutabilityStats stats;
+    const BinGrid& grid = obj.grid();
+    GlobalRouter router(grid, cfg.router);
+    CongestionField field(grid);
+
+    const bool dc = cfg.mode == PlacerMode::Ours && cfg.enable_dc;
+    const bool dpa = cfg.mode == PlacerMode::Ours && cfg.enable_dpa;
+
+    auto scheme = make_inflation_scheme(cfg, d.num_cells());
+    std::vector<double> effective_ratios(
+        static_cast<size_t>(d.num_cells()), 1.0);
+    obj.set_inflation(&effective_ratios);
+
+    const GridF rail_area = rail_area_per_bin(selected_rails, grid);
+    // Static PG density (Xplace-Route style): fixed before the loop.
+    GridF extra = static_pg_density(rail_area, cfg.static_pg_weight);
+    obj.set_extra_density(&extra);
+
+    // Optimizer state: continue from the stage-1 result.
+    std::vector<Vec2> pos(movable.size());
+    for (size_t i = 0; i < movable.size(); ++i)
+        pos[i] = d.cells[static_cast<size_t>(movable[i])].pos;
+
+    auto project = [&](size_t slot, Vec2 p) {
+        const Cell& c = d.cells[static_cast<size_t>(movable[slot])];
+        const Rect r = d.region;
+        return Vec2{std::clamp(p.x, r.lx + c.width / 2, r.hx - c.width / 2),
+                    std::clamp(p.y, r.ly + c.height / 2, r.hy - c.height / 2)};
+    };
+
+    double best_metric = std::numeric_limits<double>::max();
+    double best_overflow = std::numeric_limits<double>::max();
+    std::vector<Vec2> best_pos = pos;
+    int stall = 0;
+    CongestionMap cmap;
+    obj.set_lambda2_scale(cfg.dc_weight);
+
+    // Fresh lambda_1 for the stage: the stage-1 schedule leaves it orders
+    // of magnitude above the gradient balance a converged placement needs.
+    {
+        std::vector<Vec2> grad0;
+        obj.set_lambda1(0.0);
+        const ObjectiveTerms t0 = obj.evaluate(d, movable, pos, grad0);
+        const double ratio = t0.density_grad_l1 > 0.0
+                                 ? t0.wl_grad_l1 / t0.density_grad_l1
+                                 : 1.0;
+        obj.set_lambda1(cfg.route_lambda1_boost * ratio);
+    }
+
+    for (int outer = 0; outer < cfg.max_route_iters; ++outer) {
+        // 1. Congestion estimation on current positions -> map (Eq. 3):
+        //    a full global route (the paper) or RUDY (router-free).
+        if (cfg.use_rudy_congestion) {
+            cmap = rudy_congestion(d, grid, cfg.router);
+        } else {
+            const RouteResult rr = router.route(d);
+            cmap = rr.congestion;
+        }
+        stats.total_overflow.push_back(cmap.total_overflow());
+        // Keep the best-routed snapshot under the severity-weighted
+        // overflow (the quantity detailed-routing violations track): the
+        // stage must never end worse than it started.
+        const double severe = cmap.weighted_overflow();
+        if (severe < best_overflow * (1.0 - cfg.keep_best_margin)) {
+            best_overflow = severe;
+            best_pos = pos;
+        }
+
+        // 3'. Dynamic pin-accessibility density adjustment (Eq. 13-15) is
+        //     refreshed first so its charge is known to the budget.
+        if (dpa) {
+            extra = dynamic_pg_density(rail_area, cmap);
+            grid_scale(extra, cfg.dpa_weight);
+            obj.set_extra_density(&extra);
+        }
+
+        // 2. Momentum-based (or baseline) cell inflation update, budgeted
+        //    (together with the PG charge) against the filler whitespace so
+        //    the density stays feasible.
+        scheme->update(d, cmap);
+        effective_ratios = scheme->ratios();
+        budget_inflation(d, first_filler, effective_ratios,
+                         cfg.inflation_budget_frac, grid_sum(extra));
+        {
+            double acc = 0.0;
+            int n = 0;
+            for (int ci : movable) {
+                if (ci >= first_filler) continue;
+                acc += effective_ratios[static_cast<size_t>(ci)];
+                ++n;
+            }
+            stats.mean_inflation.push_back(n > 0 ? acc / n : 1.0);
+        }
+
+        // 4. Congestion potential field for the DC term (the bounding-box
+        //    baseline model needs only the map, not the field).
+        if (dc) {
+            obj.set_dc_model(cfg.use_bbox_dc_model ? DcModel::BoundingBox
+                                                   : DcModel::NetMoving);
+            if (!cfg.use_bbox_dc_model) field.build(cmap);
+            obj.set_congestion(
+                &cmap, cfg.use_bbox_dc_model ? nullptr : &field);
+        }
+
+        // 5. Inner Nesterov iterations on Eq. (5).
+        NesterovSolver solver(pos);
+        std::vector<Vec2> grad;
+        double penalty = 0.0;
+        for (int it = 0; it < cfg.inner_iters; ++it) {
+            const ObjectiveTerms terms =
+                obj.evaluate(d, movable, solver.reference(), grad);
+            penalty = terms.congestion;
+            solver.step(grad, project);
+            // Keep the ePlace lambda_1 schedule only while the density
+            // target is not met; once spread, wirelength/congestion lead.
+            if (terms.overflow > cfg.stop_overflow)
+                obj.set_lambda1(obj.lambda1() * cfg.lambda1_growth);
+        }
+        pos = solver.solution();
+        for (size_t i = 0; i < movable.size(); ++i)
+            d.cells[static_cast<size_t>(movable[i])].pos = pos[i];
+        stats.penalty.push_back(penalty);
+        ++stats.outer_iters;
+
+        if (cfg.verbose) {
+            RDP_LOG_INFO() << "[route-iter " << outer << "] overflow="
+                           << cmap.total_overflow()
+                           << " C(x,y)=" << penalty
+                           << " inflation=" << stats.mean_inflation.back();
+        }
+
+        // 6. Stop when the congestion metric no longer decreases
+        //    (paper: "until C(x,y) no longer decreases or the given number
+        //    of iterations is reached"). When DC is off the router overflow
+        //    serves as the metric.
+        const double metric = dc ? penalty : cmap.weighted_overflow();
+        if (metric < best_metric - 1e-9) {
+            best_metric = metric;
+            stall = 0;
+        } else if (++stall >= cfg.stop_patience) {
+            break;
+        }
+    }
+
+    // Score the final positions too, then restore the best snapshot seen.
+    {
+        const double severe =
+            cfg.use_rudy_congestion
+                ? rudy_congestion(d, grid, cfg.router).weighted_overflow()
+                : router.route(d).congestion.weighted_overflow();
+        if (severe < best_overflow * (1.0 - cfg.keep_best_margin)) {
+            best_overflow = severe;
+            best_pos = pos;
+        }
+        for (size_t i = 0; i < movable.size(); ++i)
+            d.cells[static_cast<size_t>(movable[i])].pos = best_pos[i];
+    }
+
+    // Detach caller-owned state before `extra`/`scheme` go out of scope.
+    obj.set_congestion(nullptr, nullptr);
+    obj.set_extra_density(nullptr);
+    obj.set_inflation(nullptr);
+    return stats;
+}
+
+}  // namespace rdp

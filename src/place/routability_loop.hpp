@@ -1,0 +1,47 @@
+#pragma once
+// Stage 2 of the framework: the routability-driven outer loop of paper
+// Fig. 2. Split from GlobalPlacer so it can be driven directly by tests
+// and by the ablation bench.
+
+#include <memory>
+
+#include "place/global_placer.hpp"
+#include "place/nesterov.hpp"
+#include "place/objective.hpp"
+
+namespace rdp {
+
+struct RoutabilityStats {
+    int outer_iters = 0;
+    std::vector<double> total_overflow;   ///< router overflow per outer iter
+    std::vector<double> penalty;          ///< C(x, y) per outer iter
+    std::vector<double> mean_inflation;   ///< mean ratio over movables
+};
+
+/// Run the routability-driven stage on a working design (fillers included;
+/// `movable` lists the optimizer's cell indices). Mutates cell positions.
+/// `selected_rails` is the PG-rail pre-selection (Fig. 2 first box).
+/// `first_filler` is the index of the first filler cell (== d.num_cells()
+/// when there are none): inflation is budgeted against the filler area —
+/// inflated cell area is taken from the fillers so the total charge stays
+/// feasible and the density term cannot diverge.
+RoutabilityStats run_routability_stage(
+    Design& d, const std::vector<int>& movable, PlacementObjective& obj,
+    const PlacerConfig& cfg, const std::vector<PGRail>& selected_rails,
+    int first_filler);
+
+/// Budget raw inflation ratios against the filler whitespace: scales the
+/// per-cell inflation excesses so their area growth plus `extra_area`
+/// (the PG density charge) does not exceed the usable filler area, and
+/// shrinks the fillers by the total consumed area. Returns the filler
+/// shrink ratio. `ratios` is modified in place (fillers' entries are
+/// overwritten).
+double budget_inflation(const Design& d, int first_filler,
+                        std::vector<double>& ratios,
+                        double usable_filler_frac, double extra_area = 0.0);
+
+/// Create the inflation scheme matching mode/toggles (exposed for tests).
+std::unique_ptr<InflationScheme> make_inflation_scheme(const PlacerConfig& cfg,
+                                                       int num_cells);
+
+}  // namespace rdp

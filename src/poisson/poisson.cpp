@@ -1,0 +1,128 @@
+#include "poisson/poisson.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "fft/dct.hpp"
+#include "fft/fft.hpp"
+
+namespace rdp {
+
+PoissonSolver::PoissonSolver(int width, int height)
+    : w_(width),
+      h_(height),
+      ws_x_(std::make_unique<DctWorkspace>(width)),
+      ws_y_(std::make_unique<DctWorkspace>(height)) {
+    assert(is_pow2(width) && is_pow2(height));
+}
+
+PoissonSolver::~PoissonSolver() = default;
+PoissonSolver::PoissonSolver(const PoissonSolver& o)
+    : PoissonSolver(o.w_, o.h_) {}
+
+namespace {
+
+enum class Kind { Dct2, Dct3, Idxst };
+
+void apply_1d(DctWorkspace& ws, Kind k, double* x) {
+    switch (k) {
+        case Kind::Dct2: ws.dct2(x); break;
+        case Kind::Dct3: ws.dct3(x); break;
+        case Kind::Idxst: ws.idxst(x); break;
+    }
+}
+
+}  // namespace
+
+// Rows are contiguous in the row-major grid; columns go through a scratch
+// buffer. Everything runs in place on `g`.
+void PoissonSolver::transform_rows_inplace(GridF& g, int kind) const {
+    for (int y = 0; y < h_; ++y)
+        apply_1d(*ws_x_, static_cast<Kind>(kind), &g.at(0, y));
+}
+
+void PoissonSolver::transform_cols_inplace(GridF& g, int kind) const {
+    std::vector<double> col(static_cast<size_t>(h_));
+    for (int x = 0; x < w_; ++x) {
+        for (int y = 0; y < h_; ++y) col[static_cast<size_t>(y)] = g.at(x, y);
+        apply_1d(*ws_y_, static_cast<Kind>(kind), col.data());
+        for (int y = 0; y < h_; ++y) g.at(x, y) = col[static_cast<size_t>(y)];
+    }
+}
+
+// Cosine-series coefficients a_uv of rho:
+//   rho[nx,ny] = sum_uv a_uv cos(w_u (nx+1/2)) cos(w_v (ny+1/2)),
+//   w_u = pi u / M. From DCT-II orthogonality a_uv = p_u p_v / (M N) X_uv
+// with p_0 = 1 and p_k = 2 otherwise. Input is overwritten.
+void PoissonSolver::cosine_coefficients(GridF& rho) const {
+    transform_rows_inplace(rho, static_cast<int>(Kind::Dct2));
+    transform_cols_inplace(rho, static_cast<int>(Kind::Dct2));
+    const double inv_mn = 1.0 / (static_cast<double>(w_) * h_);
+    for (int v = 0; v < h_; ++v) {
+        const double pv = (v == 0) ? 1.0 : 2.0;
+        for (int u = 0; u < w_; ++u) {
+            const double pu = (u == 0) ? 1.0 : 2.0;
+            rho.at(u, v) *= pu * pv * inv_mn;
+        }
+    }
+}
+
+PoissonSolution PoissonSolver::solve(const GridF& rho) const {
+    assert(rho.width() == w_ && rho.height() == h_);
+
+    // Enforce the compatibility condition by removing the mean charge.
+    GridF a = rho;
+    const double mean = grid_mean(a);
+    for (auto& v : a) v -= mean;
+    cosine_coefficients(a);
+
+    PoissonSolution sol;
+    sol.potential = GridF(w_, h_);
+    sol.field_x = GridF(w_, h_);
+    sol.field_y = GridF(w_, h_);
+
+    // psi coefficients a_uv / (w_u^2 + w_v^2); the (0,0) mode is fixed to 0
+    // (zero-mean potential). Field coefficients carry an extra w factor.
+    for (int v = 0; v < h_; ++v) {
+        const double wv = M_PI * v / h_;
+        for (int u = 0; u < w_; ++u) {
+            const double wu = M_PI * u / w_;
+            const double denom = wu * wu + wv * wv;
+            const double c = (denom > 0.0) ? a.at(u, v) / denom : 0.0;
+            sol.potential.at(u, v) = c;
+            sol.field_x.at(u, v) = c * wu;
+            sol.field_y.at(u, v) = c * wv;
+        }
+    }
+
+    transform_rows_inplace(sol.potential, static_cast<int>(Kind::Dct3));
+    transform_cols_inplace(sol.potential, static_cast<int>(Kind::Dct3));
+
+    transform_rows_inplace(sol.field_x, static_cast<int>(Kind::Idxst));
+    transform_cols_inplace(sol.field_x, static_cast<int>(Kind::Dct3));
+
+    transform_rows_inplace(sol.field_y, static_cast<int>(Kind::Dct3));
+    transform_cols_inplace(sol.field_y, static_cast<int>(Kind::Idxst));
+    return sol;
+}
+
+GridF PoissonSolver::solve_potential(const GridF& rho) const {
+    assert(rho.width() == w_ && rho.height() == h_);
+    GridF a = rho;
+    const double mean = grid_mean(a);
+    for (auto& v : a) v -= mean;
+    cosine_coefficients(a);
+    for (int v = 0; v < h_; ++v) {
+        const double wv = M_PI * v / h_;
+        for (int u = 0; u < w_; ++u) {
+            const double wu = M_PI * u / w_;
+            const double denom = wu * wu + wv * wv;
+            a.at(u, v) = (denom > 0.0) ? a.at(u, v) / denom : 0.0;
+        }
+    }
+    transform_rows_inplace(a, static_cast<int>(Kind::Dct3));
+    transform_cols_inplace(a, static_cast<int>(Kind::Dct3));
+    return a;
+}
+
+}  // namespace rdp

@@ -1,0 +1,94 @@
+#pragma once
+// Spectral solver for the placement Poisson problem (paper Eq. (1), following
+// ePlace):
+//
+//   div grad psi(x, y) = -rho(x, y)   on the rectangular region R
+//   n . grad psi       = 0            on the boundary (Neumann)
+//   integral rho = integral psi = 0   (compatibility / uniqueness)
+//
+// With Neumann boundaries the natural basis is the product cosine basis at
+// half-integer sample points; the solve is three 2D fast cosine/sine
+// transforms. The same solver is used twice in the framework:
+//   * the electrostatic density field D(x, y) with rho = cell area density,
+//   * the paper's differentiable congestion field C(x, y) with
+//     rho = Dmd/Cap from the global router (Section II-B).
+//
+// Everything here works in *grid index* units (unit bin spacing). Callers
+// convert the field to physical units by dividing by the physical bin size.
+
+#include <memory>
+
+#include "util/grid2d.hpp"
+
+namespace rdp {
+
+/// Result of one Poisson solve. `field_x/y` hold E = -grad(psi).
+struct PoissonSolution {
+    GridF potential;
+    GridF field_x;
+    GridF field_y;
+};
+
+class DctWorkspace;
+
+/// Reusable spectral Poisson solver for a fixed power-of-two grid size.
+/// Holds preallocated transform workspaces, so repeated solves in the
+/// placement loop are allocation-free apart from the result grids.
+class PoissonSolver {
+public:
+    /// Width and height must be powers of two.
+    PoissonSolver(int width, int height);
+    ~PoissonSolver();
+    PoissonSolver(const PoissonSolver&);
+    PoissonSolver& operator=(const PoissonSolver&) = delete;
+
+    int width() const { return w_; }
+    int height() const { return h_; }
+
+    /// Solve for the given charge density. The density is mean-shifted
+    /// internally to satisfy the compatibility condition, and the returned
+    /// potential has (numerically) zero mean.
+    PoissonSolution solve(const GridF& rho) const;
+
+    /// Potential only (cheaper when the field is not needed).
+    GridF solve_potential(const GridF& rho) const;
+
+private:
+    void transform_rows_inplace(GridF& g, int kind) const;
+    void transform_cols_inplace(GridF& g, int kind) const;
+    void cosine_coefficients(GridF& rho) const;
+
+    int w_;
+    int h_;
+    std::unique_ptr<DctWorkspace> ws_x_;
+    std::unique_ptr<DctWorkspace> ws_y_;
+};
+
+/// Apply a 1D transform to every row (x-direction) of `g`.
+/// `f` maps a length-width vector to a length-width vector.
+template <typename F>
+GridF transform_rows(const GridF& g, F&& f) {
+    GridF out(g.width(), g.height());
+    std::vector<double> buf(static_cast<size_t>(g.width()));
+    for (int y = 0; y < g.height(); ++y) {
+        for (int x = 0; x < g.width(); ++x) buf[x] = g.at(x, y);
+        const std::vector<double> res = f(buf);
+        for (int x = 0; x < g.width(); ++x) out.at(x, y) = res[x];
+    }
+    return out;
+}
+
+/// Apply a 1D transform to every column (y-direction) of `g`.
+template <typename F>
+GridF transform_cols(const GridF& g, F&& f) {
+    GridF out(g.width(), g.height());
+    std::vector<double> buf(static_cast<size_t>(g.height()));
+    for (int x = 0; x < g.width(); ++x) {
+        for (int y = 0; y < g.height(); ++y) buf[y] = g.at(x, y);
+        const std::vector<double> res = f(buf);
+        for (int y = 0; y < g.height(); ++y) out.at(x, y) = res[y];
+    }
+    return out;
+}
+
+}  // namespace rdp

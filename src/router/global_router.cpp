@@ -1,0 +1,335 @@
+#include "router/global_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "router/net_decompose.hpp"
+
+namespace rdp {
+
+GlobalRouter::GlobalRouter(BinGrid grid, RouterConfig cfg)
+    : grid_(grid), cfg_(std::move(cfg)) {
+    assert(!cfg_.layers.empty());
+}
+
+std::vector<LayerSpec> GlobalRouter::effective_layers() const {
+    std::vector<LayerSpec> out = cfg_.layers;
+    for (LayerSpec& l : out) {
+        const double extent =
+            l.dir == Orient::Horizontal ? grid_.bin_h() : grid_.bin_w();
+        l.capacity *= extent / cfg_.track_pitch;
+    }
+    return out;
+}
+
+void GlobalRouter::build_capacity(const Design& d, GridF& cap_h,
+                                  GridF& cap_v) const {
+    double base_h = 0.0, base_v = 0.0;
+    for (const LayerSpec& l : effective_layers())
+        (l.dir == Orient::Horizontal ? base_h : base_v) += l.capacity;
+
+    cap_h = grid_.make_grid();
+    cap_v = grid_.make_grid();
+    for (auto& v : cap_h) v = base_h;
+    for (auto& v : cap_v) v = base_v;
+
+    // Pin blockage: pins eat tracks on the lowest horizontal layer, so
+    // G-cells packed with cells lose horizontal capacity (local congestion).
+    for (int p = 0; p < d.num_pins(); ++p) {
+        const GridIndex g = grid_.index_of(d.pin_position(p));
+        cap_h.at(g.ix, g.iy) -= cfg_.pin_blockage;
+    }
+    // Macro blockage: macros block all routing over them except the top
+    // layer pair (a common modeling choice); scale capacity by uncovered
+    // fraction plus a top-layer allowance.
+    const double macro_pass = cfg_.layers.size() >= 4 ? 0.4 : 0.5;
+    GridF macro_cover = grid_.make_grid();
+    for (const Cell& c : d.cells) {
+        if (!c.is_macro()) continue;
+        grid_.splat_area(macro_cover, c.bbox());
+    }
+    // PG-rail blockage on the lowest horizontal layer.
+    GridF rail_cover = grid_.make_grid();
+    for (const PGRail& r : d.pg_rails) grid_.splat_area(rail_cover, r.box);
+    // Routing blockages (ISPD 2015 style) remove capacity on all layers.
+    GridF blockage_cover = grid_.make_grid();
+    for (const Rect& b : d.routing_blockages)
+        grid_.splat_area(blockage_cover, b);
+
+    const double bin_area = grid_.bin_area();
+    for (int y = 0; y < cap_h.height(); ++y) {
+        for (int x = 0; x < cap_h.width(); ++x) {
+            const double mc =
+                std::min(macro_cover.at(x, y) / bin_area, 1.0);
+            const double block = mc * (1.0 - macro_pass);
+            cap_h.at(x, y) *= (1.0 - block);
+            cap_v.at(x, y) *= (1.0 - block);
+            const double bc =
+                std::min(blockage_cover.at(x, y) / bin_area, 1.0);
+            cap_h.at(x, y) *= (1.0 - cfg_.routing_blockage_frac * bc);
+            cap_v.at(x, y) *= (1.0 - cfg_.routing_blockage_frac * bc);
+            const double rails =
+                std::min(rail_cover.at(x, y) / bin_area, 1.0);
+            cap_h.at(x, y) -= cfg_.pg_blockage_frac * base_h * rails;
+            cap_h.at(x, y) = std::max(cap_h.at(x, y), cfg_.min_capacity);
+            cap_v.at(x, y) = std::max(cap_v.at(x, y), cfg_.min_capacity);
+        }
+    }
+}
+
+namespace {
+
+/// Mutable routing state for one GlobalRouter::route() invocation.
+struct RouteState {
+    const RouterConfig& cfg;
+    GridF cap_h, cap_v;
+    GridF dem_h, dem_v;
+    GridF bend_vias, pin_vias;
+    GridF hist_h, hist_v;
+    GridF cost_h, cost_v;
+
+    explicit RouteState(const RouterConfig& c, const BinGrid& g)
+        : cfg(c),
+          dem_h(g.nx(), g.ny()),
+          dem_v(g.nx(), g.ny()),
+          bend_vias(g.nx(), g.ny()),
+          pin_vias(g.nx(), g.ny()),
+          hist_h(g.nx(), g.ny()),
+          hist_v(g.nx(), g.ny()),
+          cost_h(g.nx(), g.ny()),
+          cost_v(g.nx(), g.ny()) {}
+
+    double cell_cost(double dem, double cap, double hist) const {
+        const double util = (dem + 1.0) / cap;
+        double c = 1.0 + hist + 2.0 * util;
+        if (util > 1.0) c += cfg.overflow_penalty * (util - 1.0);
+        return c;
+    }
+
+    void refresh_cost(int x, int y) {
+        cost_h.at(x, y) = cell_cost(dem_h.at(x, y), cap_h.at(x, y),
+                                    hist_h.at(x, y));
+        cost_v.at(x, y) = cell_cost(dem_v.at(x, y), cap_v.at(x, y),
+                                    hist_v.at(x, y));
+    }
+
+    void refresh_all_costs() {
+        for (int y = 0; y < cost_h.height(); ++y)
+            for (int x = 0; x < cost_h.width(); ++x) refresh_cost(x, y);
+    }
+
+    /// Add (sign=+1) or remove (sign=-1) a path's demand, updating costs.
+    void commit(const RoutePath& p, double sign) {
+        for (const RouteSeg& s : p.segs) {
+            if (s.horizontal()) {
+                const int lo = std::min(s.x0, s.x1), hi = std::max(s.x0, s.x1);
+                for (int x = lo; x <= hi; ++x) {
+                    dem_h.at(x, s.y0) += sign;
+                    refresh_cost(x, s.y0);
+                }
+            } else {
+                const int lo = std::min(s.y0, s.y1), hi = std::max(s.y0, s.y1);
+                for (int y = lo; y <= hi; ++y) {
+                    dem_v.at(s.x0, y) += sign;
+                    refresh_cost(s.x0, y);
+                }
+            }
+        }
+        // One via per bend, charged at the end cell of the earlier span.
+        for (size_t i = 0; i + 1 < p.segs.size(); ++i) {
+            bend_vias.at(p.segs[i].x1, p.segs[i].y1) += sign;
+        }
+    }
+
+    bool path_overflows(const RoutePath& p) const {
+        for (const RouteSeg& s : p.segs) {
+            if (s.horizontal()) {
+                const int lo = std::min(s.x0, s.x1), hi = std::max(s.x0, s.x1);
+                for (int x = lo; x <= hi; ++x)
+                    if (dem_h.at(x, s.y0) > cap_h.at(x, s.y0)) return true;
+            } else {
+                const int lo = std::min(s.y0, s.y1), hi = std::max(s.y0, s.y1);
+                for (int y = lo; y <= hi; ++y)
+                    if (dem_v.at(s.x0, y) > cap_v.at(s.x0, y)) return true;
+            }
+        }
+        return false;
+    }
+};
+
+}  // namespace
+
+RouteResult GlobalRouter::route(const Design& d) const {
+    RouteState st(cfg_, grid_);
+    build_capacity(d, st.cap_h, st.cap_v);
+    st.refresh_all_costs();
+
+    // Pin vias: every pin climbs from the pin layer into the stack.
+    for (int p = 0; p < d.num_pins(); ++p) {
+        const GridIndex g = grid_.index_of(d.pin_position(p));
+        st.pin_vias.at(g.ix, g.iy) += 1.0;
+    }
+
+    // Two-pin connections from MST decomposition of every net.
+    struct Conn {
+        GridIndex a, b;
+        double len;
+    };
+    std::vector<Conn> conns;
+    for (const Net& net : d.nets) {
+        if (net.degree() < 2) continue;
+        std::vector<Vec2> pts;
+        pts.reserve(net.pins.size());
+        for (int p : net.pins) pts.push_back(d.pin_position(p));
+        for (const auto& [i, j] : manhattan_mst(pts)) {
+            const GridIndex a = grid_.index_of(pts[static_cast<size_t>(i)]);
+            const GridIndex b = grid_.index_of(pts[static_cast<size_t>(j)]);
+            const double len = std::abs(pts[i].x - pts[j].x) +
+                               std::abs(pts[i].y - pts[j].y);
+            conns.push_back({a, b, len});
+        }
+    }
+    // Route short connections first (they have the fewest alternatives).
+    std::vector<int> order(conns.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int i, int j) {
+        return conns[static_cast<size_t>(i)].len <
+               conns[static_cast<size_t>(j)].len;
+    });
+
+    RouteCostModel model{&st.cost_h, &st.cost_v, 1.0};
+    std::vector<RoutePath> paths(conns.size());
+    for (int idx : order) {
+        const Conn& c = conns[static_cast<size_t>(idx)];
+        paths[static_cast<size_t>(idx)] =
+            pattern_route(c.a.ix, c.a.iy, c.b.ix, c.b.iy, model,
+                          cfg_.max_bend_candidates);
+        st.commit(paths[static_cast<size_t>(idx)], +1.0);
+    }
+
+    // Negotiation-style rip-up-and-reroute. Negotiation does not decrease
+    // total overflow monotonically, so keep the best state seen.
+    // Overflow of the combined 2D map (wire + via demand vs summed
+    // capacity) — the same metric CongestionMap::total_overflow reports.
+    auto total_overflow_now = [&] {
+        double acc = 0.0;
+        for (int y = 0; y < st.dem_h.height(); ++y) {
+            for (int x = 0; x < st.dem_h.width(); ++x) {
+                const double dmd =
+                    st.dem_h.at(x, y) + st.dem_v.at(x, y) +
+                    cfg_.via_demand_weight *
+                        (st.bend_vias.at(x, y) + st.pin_vias.at(x, y));
+                const double cap = st.cap_h.at(x, y) + st.cap_v.at(x, y);
+                acc += std::max(dmd - cap, 0.0);
+            }
+        }
+        return acc;
+    };
+    double best_overflow = total_overflow_now();
+    std::vector<RoutePath> best_paths = paths;
+    GridF best_dem_h = st.dem_h, best_dem_v = st.dem_v,
+          best_bends = st.bend_vias;
+
+    for (int round = 0; round < cfg_.rrr_rounds; ++round) {
+        // Grow history costs where utilization exceeds capacity.
+        bool any_overflow = false;
+        for (int y = 0; y < st.dem_h.height(); ++y) {
+            for (int x = 0; x < st.dem_h.width(); ++x) {
+                const double oh =
+                    st.dem_h.at(x, y) / st.cap_h.at(x, y) - 1.0;
+                const double ov =
+                    st.dem_v.at(x, y) / st.cap_v.at(x, y) - 1.0;
+                if (oh > 0.0) {
+                    st.hist_h.at(x, y) += cfg_.history_increment * oh;
+                    any_overflow = true;
+                }
+                if (ov > 0.0) {
+                    st.hist_v.at(x, y) += cfg_.history_increment * ov;
+                    any_overflow = true;
+                }
+            }
+        }
+        if (!any_overflow) break;
+        st.refresh_all_costs();
+
+        for (int idx : order) {
+            RoutePath& p = paths[static_cast<size_t>(idx)];
+            if (!st.path_overflows(p)) continue;
+            st.commit(p, -1.0);
+            const Conn& c = conns[static_cast<size_t>(idx)];
+            p = pattern_route(c.a.ix, c.a.iy, c.b.ix, c.b.iy, model,
+                              cfg_.max_bend_candidates);
+            // Escalate to a maze search when L/Z patterns cannot escape
+            // the overflow (maze cost <= pattern cost by construction).
+            if (cfg_.maze_fallback) {
+                st.commit(p, +1.0);
+                const bool still_bad = st.path_overflows(p);
+                st.commit(p, -1.0);
+                if (still_bad) {
+                    RoutePath mz = maze_route(c.a.ix, c.a.iy, c.b.ix,
+                                              c.b.iy, model, cfg_.maze);
+                    if (!mz.segs.empty() &&
+                        path_cost(mz, model) < path_cost(p, model))
+                        p = std::move(mz);
+                }
+            }
+            st.commit(p, +1.0);
+        }
+
+        const double overflow = total_overflow_now();
+        if (overflow < best_overflow) {
+            best_overflow = overflow;
+            best_paths = paths;
+            best_dem_h = st.dem_h;
+            best_dem_v = st.dem_v;
+            best_bends = st.bend_vias;
+        }
+    }
+    // Restore the best routing state seen across rounds.
+    paths = std::move(best_paths);
+    st.dem_h = std::move(best_dem_h);
+    st.dem_v = std::move(best_dem_v);
+    st.bend_vias = std::move(best_bends);
+
+    // Assemble results.
+    RouteResult res;
+    res.demand_h = st.dem_h;
+    res.demand_v = st.dem_v;
+    res.bend_vias = st.bend_vias;
+    res.pin_vias = st.pin_vias;
+    res.layers = assign_layers(effective_layers(), st.dem_h, st.dem_v,
+                               st.bend_vias, st.pin_vias);
+    res.num_vias = res.layers.total_vias;
+
+    // 2D Dmd = wire demand + weighted via demand; Cap = directional sums.
+    GridF dmd = st.dem_h;
+    grid_add(dmd, st.dem_v);
+    for (int y = 0; y < dmd.height(); ++y)
+        for (int x = 0; x < dmd.width(); ++x)
+            dmd.at(x, y) += cfg_.via_demand_weight *
+                            (st.bend_vias.at(x, y) + st.pin_vias.at(x, y));
+    GridF cap = st.cap_h;
+    grid_add(cap, st.cap_v);
+    res.congestion = CongestionMap(grid_, std::move(dmd), std::move(cap));
+    res.total_overflow = res.congestion.total_overflow();
+    res.overflowed_gcells = res.congestion.overflowed_cells();
+
+    // Routed wirelength: traversed G-cells scaled by pitch per direction.
+    double wl = 0.0;
+    for (const RoutePath& p : paths) {
+        for (const RouteSeg& s : p.segs) {
+            if (s.horizontal())
+                wl += std::abs(s.x1 - s.x0) * grid_.bin_w();
+            else
+                wl += std::abs(s.y1 - s.y0) * grid_.bin_h();
+        }
+        // Bends add half a pitch each (staircase detour inside the cell).
+        wl += 0.5 * p.num_bends() * std::min(grid_.bin_w(), grid_.bin_h());
+    }
+    res.wirelength_dbu = wl;
+    return res;
+}
+
+}  // namespace rdp

@@ -1,0 +1,62 @@
+#include "router/layer_assign.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rdp {
+
+GridF LayerAssignment::demand_2d() const {
+    GridF out;
+    if (demand.empty()) return out;
+    out = demand.front();
+    for (size_t l = 1; l < demand.size(); ++l) grid_add(out, demand[l]);
+    return out;
+}
+
+LayerAssignment assign_layers(const std::vector<LayerSpec>& specs,
+                              const GridF& demand_h, const GridF& demand_v,
+                              const GridF& bend_vias, const GridF& pin_vias) {
+    LayerAssignment la;
+    la.specs = specs;
+    la.demand.assign(specs.size(), GridF(demand_h.width(), demand_h.height()));
+
+    // Indices of layers per direction, bottom-up.
+    std::vector<size_t> h_layers, v_layers;
+    for (size_t l = 0; l < specs.size(); ++l) {
+        (specs[l].dir == Orient::Horizontal ? h_layers : v_layers).push_back(l);
+    }
+    assert(!h_layers.empty() && !v_layers.empty());
+
+    double climb_vias = 0.0;
+    auto fill = [&](const GridF& dem, const std::vector<size_t>& layers,
+                    int x, int y) {
+        double remaining = dem.at(x, y);
+        for (size_t i = 0; i < layers.size(); ++i) {
+            const size_t l = layers[i];
+            const double cap = specs[l].capacity;
+            const double take =
+                (i + 1 == layers.size()) ? remaining  // overflow stays on top
+                                         : std::min(remaining, cap);
+            la.demand[l].at(x, y) += take;
+            // Wires pushed above the bottom layer of their direction pay an
+            // (amortized) climb-via charge per occupied cell-track.
+            climb_vias += 0.1 * static_cast<double>(i) * take;
+            remaining -= take;
+            if (remaining <= 0.0) break;
+        }
+    };
+
+    double event_vias = 0.0;
+    for (int y = 0; y < demand_h.height(); ++y) {
+        for (int x = 0; x < demand_h.width(); ++x) {
+            fill(demand_h, h_layers, x, y);
+            fill(demand_v, v_layers, x, y);
+            event_vias += bend_vias.at(x, y) + pin_vias.at(x, y);
+        }
+    }
+    la.total_vias =
+        static_cast<long long>(std::llround(event_vias + climb_vias));
+    return la;
+}
+
+}  // namespace rdp

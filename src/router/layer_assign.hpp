@@ -1,0 +1,41 @@
+#pragma once
+// 3D layer assignment of the 2D routed demand. The routing stack alternates
+// preferred directions (M2 horizontal, M3 vertical, ... in our model; M1 is
+// a pin/PG layer with no routing capacity). Each G-cell's horizontal demand
+// is distributed over the horizontal layers proportionally to their free
+// capacity, and likewise for vertical; vias are charged for reaching the
+// assigned layers from the pin layer and for bends.
+//
+// The result provides the per-layer demand/capacity of paper Eq. (3) —
+// summed over layers they give the 2D Dmd/Cap maps the placer consumes —
+// plus the #vias statistic reported in Table I.
+
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/grid2d.hpp"
+
+namespace rdp {
+
+struct LayerSpec {
+    Orient dir = Orient::Horizontal;
+    double capacity = 8.0;  ///< routing tracks per G-cell on this layer
+};
+
+struct LayerAssignment {
+    std::vector<GridF> demand;    ///< per layer
+    std::vector<LayerSpec> specs;
+    long long total_vias = 0;
+
+    /// Layer-summed demand map.
+    GridF demand_2d() const;
+};
+
+/// Distribute 2D directional demand over the layer stack.
+/// `bend_vias` counts route bends per G-cell; `pin_vias` counts pins per
+/// G-cell (each pin climbs from the pin layer to the lowest routing layer).
+LayerAssignment assign_layers(const std::vector<LayerSpec>& specs,
+                              const GridF& demand_h, const GridF& demand_v,
+                              const GridF& bend_vias, const GridF& pin_vias);
+
+}  // namespace rdp

@@ -1,0 +1,26 @@
+#pragma once
+// Maze (Dijkstra) routing fallback. Pattern routing explores only L and Z
+// shapes; when a connection still overflows after rip-up-and-reroute, the
+// router escalates to a full shortest-path search on the same directional
+// cost grids (plus the via cost at every turn), restricted to a window
+// around the connection. This mirrors the pattern→maze escalation of
+// production global routers.
+
+#include "router/pattern_route.hpp"
+#include "util/geometry.hpp"
+
+namespace rdp {
+
+struct MazeConfig {
+    /// Window margin around the endpoints' bounding box, in G-cells.
+    int window_margin = 8;
+};
+
+/// Shortest path from (x0,y0) to (x1,y1) under the cost model, restricted
+/// to the window. Returns an empty path only if the window somehow
+/// disconnects the endpoints (cannot happen for margin >= 0 since the
+/// window always contains both endpoints and is rectangular).
+RoutePath maze_route(int x0, int y0, int x1, int y1, const RouteCostModel& m,
+                     const MazeConfig& cfg = {});
+
+}  // namespace rdp

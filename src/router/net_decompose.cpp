@@ -1,0 +1,59 @@
+#include "router/net_decompose.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace rdp {
+
+std::vector<std::pair<int, int>> manhattan_mst(const std::vector<Vec2>& pts) {
+    const int n = static_cast<int>(pts.size());
+    std::vector<std::pair<int, int>> edges;
+    if (n < 2) return edges;
+    edges.reserve(static_cast<size_t>(n) - 1);
+
+    auto dist = [&](int a, int b) {
+        return std::abs(pts[a].x - pts[b].x) + std::abs(pts[a].y - pts[b].y);
+    };
+
+    std::vector<bool> in_tree(static_cast<size_t>(n), false);
+    std::vector<double> best(static_cast<size_t>(n),
+                             std::numeric_limits<double>::max());
+    std::vector<int> parent(static_cast<size_t>(n), -1);
+
+    in_tree[0] = true;
+    for (int j = 1; j < n; ++j) {
+        best[j] = dist(0, j);
+        parent[j] = 0;
+    }
+    for (int it = 1; it < n; ++it) {
+        int pick = -1;
+        double pick_d = std::numeric_limits<double>::max();
+        for (int j = 0; j < n; ++j) {
+            if (!in_tree[j] && best[j] < pick_d) {
+                pick = j;
+                pick_d = best[j];
+            }
+        }
+        in_tree[pick] = true;
+        edges.emplace_back(parent[pick], pick);
+        for (int j = 0; j < n; ++j) {
+            if (in_tree[j]) continue;
+            const double dj = dist(pick, j);
+            if (dj < best[j]) {
+                best[j] = dj;
+                parent[j] = pick;
+            }
+        }
+    }
+    return edges;
+}
+
+double mst_length(const std::vector<Vec2>& pts) {
+    double acc = 0.0;
+    for (const auto& [a, b] : manhattan_mst(pts)) {
+        acc += std::abs(pts[a].x - pts[b].x) + std::abs(pts[a].y - pts[b].y);
+    }
+    return acc;
+}
+
+}  // namespace rdp

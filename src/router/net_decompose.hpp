@@ -1,0 +1,23 @@
+#pragma once
+// Net decomposition for global routing: a multi-pin net is broken into
+// two-pin connections along a rectilinear minimum spanning tree (Prim's
+// algorithm under Manhattan distance). This approximates the RSMT topology
+// real global routers use while staying O(k^2) per k-pin net, which is fine
+// for the net degrees in our benchmark suite.
+
+#include <utility>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace rdp {
+
+/// Edges (index pairs into pts) of a Manhattan-distance MST over pts.
+/// Returns an empty vector for fewer than two points. Duplicate positions
+/// are connected by zero-length edges.
+std::vector<std::pair<int, int>> manhattan_mst(const std::vector<Vec2>& pts);
+
+/// Total Manhattan length of the MST edges.
+double mst_length(const std::vector<Vec2>& pts);
+
+}  // namespace rdp

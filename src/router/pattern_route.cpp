@@ -1,0 +1,115 @@
+#include "router/pattern_route.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace rdp {
+
+namespace {
+
+double span_cost(int x0, int y0, int x1, int y1, const GridF& cost) {
+    // Inclusive walk over an axis-aligned span.
+    double acc = 0.0;
+    if (y0 == y1) {
+        const int lo = std::min(x0, x1), hi = std::max(x0, x1);
+        for (int x = lo; x <= hi; ++x) acc += cost.at(x, y0);
+    } else {
+        const int lo = std::min(y0, y1), hi = std::max(y0, y1);
+        for (int y = lo; y <= hi; ++y) acc += cost.at(x0, y);
+    }
+    return acc;
+}
+
+/// Evenly sampled interior values between a and b (exclusive), at most k.
+std::vector<int> sample_between(int a, int b, int k) {
+    std::vector<int> out;
+    const int lo = std::min(a, b) + 1;
+    const int hi = std::max(a, b) - 1;
+    const int span = hi - lo + 1;
+    if (span <= 0 || k <= 0) return out;
+    if (span <= k) {
+        for (int v = lo; v <= hi; ++v) out.push_back(v);
+        return out;
+    }
+    for (int i = 0; i < k; ++i) {
+        const int v = lo + static_cast<int>(
+                              (static_cast<long long>(span - 1) * i) / (k - 1));
+        if (out.empty() || out.back() != v) out.push_back(v);
+    }
+    return out;
+}
+
+}  // namespace
+
+double path_cost(const RoutePath& p, const RouteCostModel& m) {
+    double acc = m.via_cost * p.num_bends();
+    for (const RouteSeg& s : p.segs) {
+        acc += span_cost(s.x0, s.y0, s.x1, s.y1,
+                         s.horizontal() ? *m.cost_h : *m.cost_v);
+    }
+    return acc;
+}
+
+RoutePath pattern_route(int x0, int y0, int x1, int y1,
+                        const RouteCostModel& m, int max_bend_candidates) {
+    assert(m.cost_h != nullptr && m.cost_v != nullptr);
+    RoutePath best;
+
+    if (x0 == x1 && y0 == y1) {
+        best.segs.push_back(hseg(x0, y0, x0));
+        return best;
+    }
+    if (y0 == y1) {
+        best.segs.push_back(hseg(x0, y0, x1));
+        return best;
+    }
+    if (x0 == x1) {
+        best.segs.push_back(vseg(x0, y0, y1));
+        return best;
+    }
+
+    double best_cost = std::numeric_limits<double>::max();
+    auto consider = [&](RoutePath p) {
+        const double c = path_cost(p, m);
+        if (c < best_cost) {
+            best_cost = c;
+            best = std::move(p);
+        }
+    };
+
+    // L-shapes. The bend cell is covered by both spans; the second span
+    // starts adjacent to the bend to avoid double-charging the corner cell.
+    {
+        RoutePath p;  // horizontal first
+        p.segs.push_back(hseg(x0, y0, x1));
+        p.segs.push_back(vseg(x1, y0 + (y1 > y0 ? 1 : -1), y1));
+        consider(std::move(p));
+    }
+    {
+        RoutePath p;  // vertical first
+        p.segs.push_back(vseg(x0, y0, y1));
+        p.segs.push_back(hseg(x0 + (x1 > x0 ? 1 : -1), y1, x1));
+        consider(std::move(p));
+    }
+
+    // HVH Z-shapes: horizontal to column z, vertical, horizontal.
+    for (int z : sample_between(x0, x1, max_bend_candidates)) {
+        RoutePath p;
+        p.segs.push_back(hseg(x0, y0, z));
+        p.segs.push_back(vseg(z, y0 + (y1 > y0 ? 1 : -1), y1));
+        p.segs.push_back(hseg(z + (x1 > z ? 1 : -1), y1, x1));
+        consider(std::move(p));
+    }
+    // VHV Z-shapes: vertical to row z, horizontal, vertical.
+    for (int z : sample_between(y0, y1, max_bend_candidates)) {
+        RoutePath p;
+        p.segs.push_back(vseg(x0, y0, z));
+        p.segs.push_back(hseg(x0 + (x1 > x0 ? 1 : -1), z, x1));
+        p.segs.push_back(vseg(x1, z + (y1 > z ? 1 : -1), y1));
+        consider(std::move(p));
+    }
+    return best;
+}
+
+}  // namespace rdp

@@ -1,0 +1,71 @@
+#pragma once
+// L/Z pattern routing for a two-pin connection on the G-cell grid, the CPU
+// analogue of the 3D Z-shape routing of Lin & Wong (ICCAD'22) that the paper
+// uses for congestion estimation. A route is a list of axis-aligned G-cell
+// spans; candidates are the two L-shapes plus HVH/VHV Z-shapes over sampled
+// intermediate bend lines, scored by a congestion-aware cost map.
+
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/grid2d.hpp"
+
+namespace rdp {
+
+/// One axis-aligned span of G-cells, inclusive on both ends, with an
+/// explicit routing direction (a single-cell span still occupies a track
+/// in one specific direction — maze staircases produce many of those).
+struct RouteSeg {
+    int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+    Orient dir = Orient::Horizontal;
+
+    bool horizontal() const { return dir == Orient::Horizontal; }
+    /// Number of G-cells covered.
+    int length() const { return std::abs(x1 - x0) + std::abs(y1 - y0) + 1; }
+};
+
+/// Span constructors that set the direction from the coordinates.
+inline RouteSeg hseg(int x0, int y, int x1) {
+    return {x0, y, x1, y, Orient::Horizontal};
+}
+inline RouteSeg vseg(int x, int y0, int y1) {
+    return {x, y0, x, y1, Orient::Vertical};
+}
+
+/// A routed two-pin connection: contiguous spans; bends between consecutive
+/// spans cost vias.
+struct RoutePath {
+    std::vector<RouteSeg> segs;
+
+    int num_bends() const {
+        return segs.size() > 1 ? static_cast<int>(segs.size()) - 1 : 0;
+    }
+    /// Total G-cells covered (shared bend cells counted once per span).
+    int total_cells() const {
+        int acc = 0;
+        for (const RouteSeg& s : segs) acc += s.length();
+        return acc;
+    }
+};
+
+/// Per-direction traversal costs: cost_h(x,y) is the price of routing
+/// horizontally through G-cell (x,y); cost_v vertically. via_cost is added
+/// per bend. The GlobalRouter derives these from utilization + history.
+struct RouteCostModel {
+    const GridF* cost_h = nullptr;
+    const GridF* cost_v = nullptr;
+    double via_cost = 1.0;
+};
+
+/// Cost of an existing path under the model.
+double path_cost(const RoutePath& p, const RouteCostModel& m);
+
+/// Pattern-route (x0,y0) -> (x1,y1) in G-cell coordinates. Evaluates both
+/// L-shapes and up to `max_bend_candidates` HVH and VHV Z-shapes and returns
+/// the cheapest path. Degenerate cases (same cell / same row / same column)
+/// return straight or single-cell paths.
+RoutePath pattern_route(int x0, int y0, int x1, int y1,
+                        const RouteCostModel& m,
+                        int max_bend_candidates = 16);
+
+}  // namespace rdp

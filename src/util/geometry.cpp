@@ -1,0 +1,35 @@
+#include "util/geometry.hpp"
+
+#include <ostream>
+
+namespace rdp {
+
+std::vector<Interval> subtract_intervals(Interval base,
+                                         std::vector<Interval> cuts) {
+    std::vector<Interval> out;
+    if (base.empty()) return out;
+    std::sort(cuts.begin(), cuts.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    double cursor = base.lo;
+    for (const Interval& c : cuts) {
+        if (c.empty()) continue;
+        if (c.hi <= cursor) continue;
+        if (c.lo >= base.hi) break;
+        if (c.lo > cursor) out.push_back({cursor, std::min(c.lo, base.hi)});
+        cursor = std::max(cursor, c.hi);
+        if (cursor >= base.hi) break;
+    }
+    if (cursor < base.hi) out.push_back({cursor, base.hi});
+    return out;
+}
+
+std::ostream& operator<<(std::ostream& os, Vec2 v) {
+    return os << "(" << v.x << ", " << v.y << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+    return os << "[" << r.lx << ", " << r.ly << "; " << r.hx << ", " << r.hy
+              << "]";
+}
+
+}  // namespace rdp

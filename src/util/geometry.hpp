@@ -1,0 +1,152 @@
+#pragma once
+// Basic 2D geometry primitives shared across the placement/routing stack.
+//
+// All coordinates are double-precision database units (DBU). The placement
+// region, bins, G-cells, cells, and PG rails are all axis-aligned rectangles.
+
+#include <algorithm>
+#include <cmath>
+#include <iosfwd>
+#include <vector>
+
+namespace rdp {
+
+/// A 2D point / vector in placement coordinates.
+struct Vec2 {
+    double x = 0.0;
+    double y = 0.0;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+    constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+    constexpr Vec2& operator+=(Vec2 o) {
+        x += o.x;
+        y += o.y;
+        return *this;
+    }
+    constexpr Vec2& operator-=(Vec2 o) {
+        x -= o.x;
+        y -= o.y;
+        return *this;
+    }
+    constexpr Vec2& operator*=(double s) {
+        x *= s;
+        y *= s;
+        return *this;
+    }
+    constexpr bool operator==(const Vec2&) const = default;
+
+    /// Dot product.
+    constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+    /// Euclidean length.
+    double norm() const { return std::hypot(x, y); }
+    /// Squared Euclidean length.
+    constexpr double norm2() const { return x * x + y * y; }
+    /// L1 (Manhattan) length.
+    double norm1() const { return std::abs(x) + std::abs(y); }
+    /// Unit vector in the same direction; returns (0,0) for the zero vector.
+    Vec2 normalized() const {
+        const double n = norm();
+        return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+    }
+    /// The vector rotated +90 degrees (counter-clockwise).
+    constexpr Vec2 perp() const { return {-y, x}; }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+using Point = Vec2;
+
+/// Axis-aligned rectangle, half-open semantics are NOT assumed: [lx,hx]x[ly,hy].
+struct Rect {
+    double lx = 0.0;
+    double ly = 0.0;
+    double hx = 0.0;
+    double hy = 0.0;
+
+    constexpr Rect() = default;
+    constexpr Rect(double lx_, double ly_, double hx_, double hy_)
+        : lx(lx_), ly(ly_), hx(hx_), hy(hy_) {}
+
+    static constexpr Rect from_center(Vec2 c, double w, double h) {
+        return {c.x - w / 2, c.y - h / 2, c.x + w / 2, c.y + h / 2};
+    }
+
+    constexpr double width() const { return hx - lx; }
+    constexpr double height() const { return hy - ly; }
+    constexpr double area() const { return width() * height(); }
+    constexpr Vec2 center() const { return {(lx + hx) / 2, (ly + hy) / 2}; }
+    constexpr bool empty() const { return hx <= lx || hy <= ly; }
+    constexpr bool operator==(const Rect&) const = default;
+
+    constexpr bool contains(Vec2 p) const {
+        return p.x >= lx && p.x <= hx && p.y >= ly && p.y <= hy;
+    }
+    constexpr bool intersects(const Rect& o) const {
+        return lx < o.hx && o.lx < hx && ly < o.hy && o.ly < hy;
+    }
+    /// Intersection rectangle (may be empty()).
+    constexpr Rect intersect(const Rect& o) const {
+        return {std::max(lx, o.lx), std::max(ly, o.ly), std::min(hx, o.hx),
+                std::min(hy, o.hy)};
+    }
+    /// Overlap area with another rectangle (0 if disjoint).
+    constexpr double overlap_area(const Rect& o) const {
+        const double w = std::min(hx, o.hx) - std::max(lx, o.lx);
+        const double h = std::min(hy, o.hy) - std::max(ly, o.ly);
+        return (w > 0 && h > 0) ? w * h : 0.0;
+    }
+    /// Smallest rectangle containing both.
+    constexpr Rect united(const Rect& o) const {
+        return {std::min(lx, o.lx), std::min(ly, o.ly), std::max(hx, o.hx),
+                std::max(hy, o.hy)};
+    }
+    /// Rectangle expanded by `d` on every side (shrinks if d < 0).
+    constexpr Rect expanded(double d) const {
+        return {lx - d, ly - d, hx + d, hy + d};
+    }
+    /// Rectangle scaled about its center by `factor` in both dimensions.
+    constexpr Rect scaled_about_center(double factor) const {
+        const Vec2 c = center();
+        const double w = width() * factor, h = height() * factor;
+        return from_center(c, w, h);
+    }
+    /// Clamp a point into the rectangle.
+    constexpr Vec2 clamp(Vec2 p) const {
+        return {std::clamp(p.x, lx, hx), std::clamp(p.y, ly, hy)};
+    }
+};
+
+/// An integer grid index pair (column ix, row iy).
+struct GridIndex {
+    int ix = 0;
+    int iy = 0;
+    constexpr bool operator==(const GridIndex&) const = default;
+};
+
+/// Orientation of a wire segment / rail / routing layer.
+enum class Orient { Horizontal, Vertical };
+
+/// A 1D closed interval.
+struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+    constexpr double length() const { return hi - lo; }
+    constexpr bool empty() const { return hi <= lo; }
+    constexpr bool operator==(const Interval&) const = default;
+};
+
+/// Subtract a set of "cut" intervals from [lo,hi]; returns the remaining
+/// pieces in ascending order. Used to cut PG rails by macro bounding boxes.
+/// `cuts` need not be sorted or disjoint.
+std::vector<Interval> subtract_intervals(Interval base,
+                                         std::vector<Interval> cuts);
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+}  // namespace rdp

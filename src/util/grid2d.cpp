@@ -1,0 +1,33 @@
+#include "util/grid2d.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace rdp {
+
+double grid_sum(const GridF& g) {
+    return std::accumulate(g.begin(), g.end(), 0.0);
+}
+
+double grid_max(const GridF& g) {
+    if (g.empty()) return 0.0;
+    return *std::max_element(g.begin(), g.end());
+}
+
+double grid_mean(const GridF& g) {
+    if (g.empty()) return 0.0;
+    return grid_sum(g) / static_cast<double>(g.size());
+}
+
+void grid_add(GridF& a, const GridF& b) {
+    assert(a.width() == b.width() && a.height() == b.height());
+    auto it = b.begin();
+    for (auto& v : a) v += *it++;
+}
+
+void grid_scale(GridF& g, double s) {
+    for (auto& v : g) v *= s;
+}
+
+}  // namespace rdp

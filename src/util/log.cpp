@@ -1,0 +1,39 @@
+#include "util/log.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace rdp {
+
+namespace {
+LogLevel g_level = [] {
+    const char* env = std::getenv("RDP_LOG");
+    if (env == nullptr) return LogLevel::Info;
+    if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+    if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+    if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+    return LogLevel::Info;
+}();
+
+const char* level_tag(LogLevel lv) {
+    switch (lv) {
+        case LogLevel::Error: return "[E]";
+        case LogLevel::Warn: return "[W]";
+        case LogLevel::Info: return "[I]";
+        case LogLevel::Debug: return "[D]";
+    }
+    return "[?]";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel lv) { g_level = lv; }
+
+namespace detail {
+void log_emit(LogLevel lv, const std::string& msg) {
+    std::cerr << level_tag(lv) << " " << msg << "\n";
+}
+}  // namespace detail
+
+}  // namespace rdp

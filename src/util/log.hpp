@@ -1,0 +1,48 @@
+#pragma once
+// Minimal leveled logger. Output goes to stderr so bench tables on stdout
+// stay machine-readable. Level is process-global and settable from code or
+// the RDP_LOG environment variable (error|warn|info|debug).
+
+#include <sstream>
+#include <string>
+
+namespace rdp {
+
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Current global level (initialized from $RDP_LOG, default Info).
+LogLevel log_level();
+void set_log_level(LogLevel lv);
+
+namespace detail {
+void log_emit(LogLevel lv, const std::string& msg);
+}
+
+/// Stream-style logging: LOG_INFO() << "placed " << n << " cells";
+class LogLine {
+public:
+    LogLine(LogLevel lv) : lv_(lv), active_(lv <= log_level()) {}
+    ~LogLine() {
+        if (active_) detail::log_emit(lv_, ss_.str());
+    }
+    LogLine(const LogLine&) = delete;
+    LogLine& operator=(const LogLine&) = delete;
+
+    template <typename T>
+    LogLine& operator<<(const T& v) {
+        if (active_) ss_ << v;
+        return *this;
+    }
+
+private:
+    LogLevel lv_;
+    bool active_;
+    std::ostringstream ss_;
+};
+
+}  // namespace rdp
+
+#define RDP_LOG_ERROR() ::rdp::LogLine(::rdp::LogLevel::Error)
+#define RDP_LOG_WARN() ::rdp::LogLine(::rdp::LogLevel::Warn)
+#define RDP_LOG_INFO() ::rdp::LogLine(::rdp::LogLevel::Info)
+#define RDP_LOG_DEBUG() ::rdp::LogLine(::rdp::LogLevel::Debug)

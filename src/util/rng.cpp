@@ -1,0 +1,79 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rdp {
+
+namespace {
+uint64_t splitmix64(uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+}
+
+uint64_t Rng::next_u64() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double Rng::uniform() {
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+int Rng::uniform_int(int lo, int hi) {
+    assert(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    return lo + static_cast<int>(next_u64() % span);
+}
+
+double Rng::normal() {
+    if (has_spare_) {
+        has_spare_ = false;
+        return spare_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    has_spare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+    return mean + stddev * normal();
+}
+
+int Rng::geometric1(double p) {
+    assert(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) return 1;
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    const int k = 1 + static_cast<int>(std::log(u) / std::log1p(-p));
+    return k < 1 ? 1 : k;
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+}  // namespace rdp

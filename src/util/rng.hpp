@@ -1,0 +1,40 @@
+#pragma once
+// Deterministic random number generation for synthetic benchmark creation and
+// property-based tests. We implement xoshiro256** seeded via SplitMix64 so
+// results are bit-identical across platforms and standard-library versions
+// (std::mt19937 distributions are not portable).
+
+#include <cstdint>
+
+namespace rdp {
+
+/// Deterministic 64-bit PRNG (xoshiro256**), seeded via SplitMix64.
+class Rng {
+public:
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /// Next raw 64-bit value.
+    uint64_t next_u64();
+    /// Uniform in [0, 1).
+    double uniform();
+    /// Uniform in [lo, hi).
+    double uniform(double lo, double hi);
+    /// Uniform integer in [lo, hi] inclusive.
+    int uniform_int(int lo, int hi);
+    /// Standard normal via Box-Muller.
+    double normal();
+    /// Normal with given mean and standard deviation.
+    double normal(double mean, double stddev);
+    /// Geometric distribution on {1, 2, ...} with success probability p.
+    /// Used for net-degree distributions (most nets are 2-pin with a tail).
+    int geometric1(double p);
+    /// True with probability p.
+    bool bernoulli(double p);
+
+private:
+    uint64_t s_[4];
+    bool has_spare_ = false;
+    double spare_ = 0.0;
+};
+
+}  // namespace rdp

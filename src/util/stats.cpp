@@ -1,0 +1,62 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rdp {
+
+void RunningStats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+}
+
+double RunningStats::variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double geometric_mean(const std::vector<double>& xs) {
+    if (xs.empty()) return 0.0;
+    double acc = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0) return 0.0;
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double arithmetic_mean(const std::vector<double>& xs) {
+    if (xs.empty()) return 0.0;
+    double acc = 0.0;
+    for (double x : xs) acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+double l1_norm(const std::vector<double>& xs) {
+    double acc = 0.0;
+    for (double x : xs) acc += std::abs(x);
+    return acc;
+}
+
+double percentile(std::vector<double> xs, double p) {
+    if (xs.empty()) return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                        static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<size_t>(rank);
+    const auto hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace rdp

@@ -1,0 +1,42 @@
+#pragma once
+// Small statistics helpers used by the evaluation/reporting layer and tests.
+
+#include <vector>
+
+namespace rdp {
+
+/// Streaming summary of a sample: count/min/max/mean/variance (Welford).
+class RunningStats {
+public:
+    void add(double x);
+    long count() const { return n_; }
+    double mean() const { return n_ > 0 ? mean_ : 0.0; }
+    double min() const { return n_ > 0 ? min_ : 0.0; }
+    double max() const { return n_ > 0 ? max_ : 0.0; }
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    double variance() const;
+    double stddev() const;
+    double sum() const { return sum_; }
+
+private:
+    long n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/// Geometric mean of strictly positive values; 0 if any value <= 0 or empty.
+double geometric_mean(const std::vector<double>& xs);
+
+/// Arithmetic mean; 0 for an empty vector.
+double arithmetic_mean(const std::vector<double>& xs);
+
+/// L1 norm of a flat vector.
+double l1_norm(const std::vector<double>& xs);
+
+/// p-th percentile (0..100) by linear interpolation on the sorted sample.
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace rdp

@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace rdp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+    assert(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+void Table::print(std::ostream& os) const {
+    std::vector<size_t> w(header_.size(), 0);
+    for (size_t i = 0; i < header_.size(); ++i) w[i] = header_[i].size();
+    for (const auto& r : rows_)
+        for (size_t i = 0; i < r.size(); ++i) w[i] = std::max(w[i], r[i].size());
+
+    auto print_sep = [&] {
+        os << "+";
+        for (size_t i = 0; i < w.size(); ++i)
+            os << std::string(w[i] + 2, '-') << "+";
+        os << "\n";
+    };
+    auto print_row = [&](const std::vector<std::string>& r) {
+        os << "|";
+        for (size_t i = 0; i < w.size(); ++i) {
+            const std::string& cell = i < r.size() ? r[i] : std::string{};
+            os << " " << std::string(w[i] - cell.size(), ' ') << cell << " |";
+        }
+        os << "\n";
+    };
+
+    print_sep();
+    print_row(header_);
+    print_sep();
+    for (const auto& r : rows_) {
+        if (r.empty())
+            print_sep();
+        else
+            print_row(r);
+    }
+    print_sep();
+}
+
+std::string Table::fmt(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+std::string Table::fmt_int(long long v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", v);
+    return buf;
+}
+
+}  // namespace rdp

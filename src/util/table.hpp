@@ -1,0 +1,32 @@
+#pragma once
+// ASCII table printer used by the bench harnesses to emit paper-style rows
+// (Table I, Table II) on stdout.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rdp {
+
+/// Right-aligned ASCII table with a header row.
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    /// Append a data row; must have the same arity as the header.
+    void add_row(std::vector<std::string> row);
+    /// Append a horizontal separator line.
+    void add_separator();
+
+    void print(std::ostream& os) const;
+
+    /// Format helpers for numeric cells.
+    static std::string fmt(double v, int precision = 2);
+    static std::string fmt_int(long long v);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace rdp

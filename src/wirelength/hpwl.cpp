@@ -1,0 +1,36 @@
+#include "wirelength/hpwl.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rdp {
+
+Rect net_bbox(const Design& d, const Net& net) {
+    if (net.pins.empty()) return {};
+    double lx = std::numeric_limits<double>::max();
+    double ly = std::numeric_limits<double>::max();
+    double hx = std::numeric_limits<double>::lowest();
+    double hy = std::numeric_limits<double>::lowest();
+    for (int p : net.pins) {
+        const Vec2 pos = d.pin_position(p);
+        lx = std::min(lx, pos.x);
+        ly = std::min(ly, pos.y);
+        hx = std::max(hx, pos.x);
+        hy = std::max(hy, pos.y);
+    }
+    return {lx, ly, hx, hy};
+}
+
+double net_hpwl(const Design& d, const Net& net) {
+    if (net.degree() < 2) return 0.0;
+    const Rect b = net_bbox(d, net);
+    return b.width() + b.height();
+}
+
+double total_hpwl(const Design& d) {
+    double acc = 0.0;
+    for (const Net& n : d.nets) acc += n.weight * net_hpwl(d, n);
+    return acc;
+}
+
+}  // namespace rdp

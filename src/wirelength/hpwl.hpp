@@ -1,0 +1,18 @@
+#pragma once
+// Half-perimeter wirelength (HPWL) — the non-smooth objective the WA model
+// approximates, and the metric reported for placement quality.
+
+#include "db/design.hpp"
+
+namespace rdp {
+
+/// HPWL of one net (0 for degree < 2).
+double net_hpwl(const Design& d, const Net& net);
+
+/// Bounding box of one net's pins (empty Rect for degree 0).
+Rect net_bbox(const Design& d, const Net& net);
+
+/// Weighted total HPWL over all nets.
+double total_hpwl(const Design& d);
+
+}  // namespace rdp

@@ -1,0 +1,83 @@
+#include "wirelength/wa_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rdp {
+
+double WAWirelength::wa_1d(const std::vector<double>& xs,
+                           std::vector<double>& grad) const {
+    const size_t n = xs.size();
+    grad.assign(n, 0.0);
+    if (n < 2) return 0.0;
+
+    const double xmax = *std::max_element(xs.begin(), xs.end());
+    const double xmin = *std::min_element(xs.begin(), xs.end());
+    const double g = gamma_;
+
+    // Max side: weights e^{(x_i - xmax)/g} are in (0, 1].
+    double sp = 0.0, ap = 0.0;  // sum of weights, weighted coordinate sum
+    double sm = 0.0, am = 0.0;  // min side with weights e^{(xmin - x_i)/g}
+    std::vector<double> wp(n), wm(n);
+    for (size_t i = 0; i < n; ++i) {
+        wp[i] = std::exp((xs[i] - xmax) / g);
+        wm[i] = std::exp((xmin - xs[i]) / g);
+        sp += wp[i];
+        ap += xs[i] * wp[i];
+        sm += wm[i];
+        am += xs[i] * wm[i];
+    }
+    const double fp = ap / sp;  // smooth max
+    const double fm = am / sm;  // smooth min
+
+    // d fp / d x_j = (w_j / sp) (1 + (x_j - fp)/g)
+    // d fm / d x_j = (w_j / sm) (1 - (x_j - fm)/g)
+    for (size_t j = 0; j < n; ++j) {
+        const double dp = (wp[j] / sp) * (1.0 + (xs[j] - fp) / g);
+        const double dm = (wm[j] / sm) * (1.0 - (xs[j] - fm) / g);
+        grad[j] = dp - dm;
+    }
+    return fp - fm;
+}
+
+double WAWirelength::net_wa(const Design& d, const Net& net) const {
+    if (net.degree() < 2) return 0.0;
+    std::vector<double> xs, ys, tmp;
+    xs.reserve(net.pins.size());
+    ys.reserve(net.pins.size());
+    for (int p : net.pins) {
+        const Vec2 pos = d.pin_position(p);
+        xs.push_back(pos.x);
+        ys.push_back(pos.y);
+    }
+    return wa_1d(xs, tmp) + wa_1d(ys, tmp);
+}
+
+WirelengthResult WAWirelength::evaluate(const Design& d) const {
+    WirelengthResult res;
+    res.cell_grad.assign(static_cast<size_t>(d.num_cells()), Vec2{});
+
+    std::vector<double> xs, ys, gx, gy;
+    for (const Net& net : d.nets) {
+        if (net.degree() < 2) continue;
+        xs.clear();
+        ys.clear();
+        for (int p : net.pins) {
+            const Vec2 pos = d.pin_position(p);
+            xs.push_back(pos.x);
+            ys.push_back(pos.y);
+        }
+        const double wx = wa_1d(xs, gx);
+        const double wy = wa_1d(ys, gy);
+        res.total += net.weight * (wx + wy);
+        for (size_t i = 0; i < net.pins.size(); ++i) {
+            const int cell = d.pins[net.pins[i]].cell;
+            res.cell_grad[static_cast<size_t>(cell)] +=
+                Vec2{gx[i], gy[i]} * net.weight;
+        }
+    }
+    return res;
+}
+
+}  // namespace rdp

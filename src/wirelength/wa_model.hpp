@@ -1,0 +1,49 @@
+#pragma once
+// Weighted-average (WA) wirelength model (Hsu, Chang, Balabanov, DAC'11),
+// the smooth HPWL surrogate of paper Section II-A:
+//
+//   WA_x(e) = sum_i x_i e^{x_i/g} / sum_i e^{x_i/g}
+//           - sum_i x_i e^{-x_i/g} / sum_i e^{-x_i/g}
+//
+// As gamma -> 0 the model converges to HPWL from below. The implementation
+// shifts exponents by the pin max/min, so it is stable for any gamma and
+// coordinate magnitude.
+
+#include <vector>
+
+#include "db/design.hpp"
+
+namespace rdp {
+
+/// Result of one full-netlist WA evaluation.
+struct WirelengthResult {
+    double total = 0.0;           ///< weighted WA wirelength over all nets
+    std::vector<Vec2> cell_grad;  ///< d(total)/d(cell center), all cells
+};
+
+class WAWirelength {
+public:
+    /// gamma is the smoothing parameter of the exponent (same units as
+    /// coordinates). A common choice is a few bin widths.
+    explicit WAWirelength(double gamma) : gamma_(gamma) {}
+
+    double gamma() const { return gamma_; }
+    void set_gamma(double g) { gamma_ = g; }
+
+    /// WA wirelength of one net (unweighted).
+    double net_wa(const Design& d, const Net& net) const;
+
+    /// Total weighted WA wirelength and analytic gradient wrt every cell
+    /// center. Fixed cells receive gradient entries too; the optimizer simply
+    /// ignores them.
+    WirelengthResult evaluate(const Design& d) const;
+
+private:
+    /// One-dimensional WA and d(WA)/d(coordinate) for a pin coordinate list.
+    /// Appends per-pin derivative into `grad` (same length as xs).
+    double wa_1d(const std::vector<double>& xs, std::vector<double>& grad) const;
+
+    double gamma_;
+};
+
+}  // namespace rdp

@@ -1,0 +1,176 @@
+// Tests for the synthetic benchmark generator and the ISPD-2015-like suite:
+// generated designs must hit their target statistics deterministically.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/generator.hpp"
+#include "benchgen/ispd_suite.hpp"
+#include "db/design_stats.hpp"
+#include "db/netlist_io.hpp"
+
+#include <sstream>
+
+namespace rdp {
+namespace {
+
+TEST(GeneratorTest, CountsMatchConfig) {
+    GeneratorConfig cfg;
+    cfg.num_cells = 1000;
+    cfg.num_ios = 32;
+    cfg.num_macros = 3;
+    const Design d = generate_circuit(cfg);
+    const DesignStats s = compute_stats(d);
+    EXPECT_EQ(s.num_movable, 1000);
+    EXPECT_EQ(s.num_fixed, 32);
+    EXPECT_LE(s.num_macros, 3);
+    EXPECT_GE(s.num_macros, 1);
+    EXPECT_TRUE(d.validate().empty());
+}
+
+TEST(GeneratorTest, UtilizationNearTarget) {
+    GeneratorConfig cfg;
+    cfg.num_cells = 2000;
+    cfg.utilization = 0.7;
+    cfg.num_macros = 2;
+    const Design d = generate_circuit(cfg);
+    EXPECT_NEAR(d.utilization(), 0.7, 0.08);
+}
+
+TEST(GeneratorTest, NetDegreeDistribution) {
+    GeneratorConfig cfg;
+    cfg.num_cells = 3000;
+    cfg.avg_net_degree = 2.7;
+    cfg.max_net_degree = 20;
+    const Design d = generate_circuit(cfg);
+    const DesignStats s = compute_stats(d);
+    EXPECT_NEAR(s.avg_net_degree, 2.7, 0.35);
+    // Two-pin nets dominate.
+    ASSERT_GT(s.degree_histogram.size(), 3u);
+    EXPECT_GT(s.degree_histogram[2], s.degree_histogram[3]);
+    // No net exceeds the cap.
+    for (const Net& n : d.nets) EXPECT_LE(n.degree(), cfg.max_net_degree);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+    GeneratorConfig cfg;
+    cfg.num_cells = 500;
+    cfg.seed = 42;
+    const Design a = generate_circuit(cfg);
+    const Design b = generate_circuit(cfg);
+    std::ostringstream sa, sb;
+    write_design(a, sa);
+    write_design(b, sb);
+    EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(GeneratorTest, SeedsChangeNetlist) {
+    GeneratorConfig cfg;
+    cfg.num_cells = 500;
+    cfg.seed = 1;
+    const Design a = generate_circuit(cfg);
+    cfg.seed = 2;
+    const Design b = generate_circuit(cfg);
+    std::ostringstream sa, sb;
+    write_design(a, sa);
+    write_design(b, sb);
+    EXPECT_NE(sa.str(), sb.str());
+}
+
+TEST(GeneratorTest, MacrosInsideRegionAndDisjoint) {
+    GeneratorConfig cfg;
+    cfg.num_cells = 1000;
+    cfg.num_macros = 6;
+    cfg.macro_area_frac = 0.2;
+    const Design d = generate_circuit(cfg);
+    const auto macros = d.macro_cells();
+    for (size_t i = 0; i < macros.size(); ++i) {
+        const Rect a = d.cells[macros[i]].bbox();
+        EXPECT_GE(a.lx, d.region.lx);
+        EXPECT_LE(a.hx, d.region.hx);
+        EXPECT_GE(a.ly, d.region.ly);
+        EXPECT_LE(a.hy, d.region.hy);
+        for (size_t j = i + 1; j < macros.size(); ++j)
+            EXPECT_FALSE(a.intersects(d.cells[macros[j]].bbox()));
+    }
+}
+
+TEST(GeneratorTest, MacroEdgesGridAligned) {
+    // The Abacus writeback relies on blockage edges sitting on the
+    // site/row grid.
+    GeneratorConfig cfg;
+    cfg.num_cells = 800;
+    cfg.num_macros = 4;
+    const Design d = generate_circuit(cfg);
+    for (int m : d.macro_cells()) {
+        const Rect b = d.cells[m].bbox();
+        const double sx = (b.lx - d.region.lx) / d.site_width;
+        const double sy = (b.ly - d.region.ly) / d.row_height;
+        EXPECT_NEAR(sx, std::round(sx), 1e-6);
+        EXPECT_NEAR(sy, std::round(sy), 1e-6);
+    }
+}
+
+TEST(GeneratorTest, CellsHavePinsAndRails) {
+    GeneratorConfig cfg;
+    cfg.num_cells = 600;
+    const Design d = generate_circuit(cfg);
+    EXPECT_GT(d.num_pins(), d.num_cells());
+    EXPECT_FALSE(d.pg_rails.empty());
+    EXPECT_FALSE(d.rows.empty());
+    // Average pins per cell around nets_per_cell * avg_degree.
+    EXPECT_GT(d.average_pins_per_cell(), 1.5);
+    EXPECT_LT(d.average_pins_per_cell(), 6.0);
+}
+
+TEST(SuiteTest, TwentyDesignsWithPaperNames) {
+    const auto suite = ispd2015_suite();
+    ASSERT_EQ(suite.size(), 20u);
+    EXPECT_EQ(suite[0].name, "des_perf_1");
+    EXPECT_EQ(suite[19].name, "superblue19");
+    int daggered = 0;
+    for (const auto& e : suite)
+        if (e.fence_removed) ++daggered;
+    EXPECT_EQ(daggered, 8);  // the daggered (†) designs of Table I
+}
+
+TEST(SuiteTest, ScaleControlsSize) {
+    const auto full = suite_entry("fft_1", 1.0);
+    const auto half = suite_entry("fft_1", 0.5);
+    EXPECT_NEAR(half.gen.num_cells, full.gen.num_cells / 2, 2);
+    EXPECT_THROW(suite_entry("nonexistent"), std::out_of_range);
+}
+
+TEST(SuiteTest, SuperbluesAreLargest) {
+    const auto suite = ispd2015_suite();
+    int fft_cells = 0, sb_cells = 0;
+    for (const auto& e : suite) {
+        if (e.name == "fft_1") fft_cells = e.gen.num_cells;
+        if (e.name == "superblue12") sb_cells = e.gen.num_cells;
+    }
+    EXPECT_GT(sb_cells, 4 * fft_cells);
+}
+
+TEST(SuiteTest, AblationSubset) {
+    const auto sub = ablation_suite();
+    EXPECT_GE(sub.size(), 4u);
+    for (const auto& e : sub) {
+        // Every ablation design exists in the full suite.
+        EXPECT_NO_THROW(suite_entry(e.name));
+    }
+}
+
+TEST(SuiteTest, EntriesGenerateValidDesigns) {
+    // Spot-check two entries end to end at small scale.
+    for (const char* name : {"fft_a", "des_perf_a"}) {
+        const SuiteEntry e = suite_entry(name, 0.3);
+        const Design d = generate_circuit(e.gen);
+        EXPECT_TRUE(d.validate().empty()) << name;
+        EXPECT_EQ(d.name, name);
+        if (e.gen.num_macros > 0) {
+            EXPECT_FALSE(d.macro_cells().empty());
+        }
+    }
+}
+
+}  // namespace
+}  // namespace rdp

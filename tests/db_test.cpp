@@ -1,0 +1,172 @@
+// Tests for the netlist database, serialization, and design statistics.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "db/design.hpp"
+#include "db/design_stats.hpp"
+#include "db/netlist_io.hpp"
+
+namespace rdp {
+namespace {
+
+Design small_design() {
+    Design d;
+    d.name = "tiny";
+    d.region = {0, 0, 100, 80};
+    d.row_height = 8.0;
+    d.site_width = 1.0;
+    const int a = d.add_cell("a", 2, 8, CellKind::Movable, {10, 12});
+    const int b = d.add_cell("b", 3, 8, CellKind::Movable, {50, 44});
+    const int m = d.add_cell("m", 20, 16, CellKind::Macro, {80, 40});
+    const int pa = d.add_pin(a, {0.5, 1.0});
+    const int pb = d.add_pin(b, {-1.0, 0.0});
+    const int pm = d.add_pin(m, {0.0, -7.0});
+    const int n1 = d.add_net("n1");
+    d.connect(n1, pa);
+    d.connect(n1, pb);
+    const int n2 = d.add_net("n2", 2.0);
+    const int pb2 = d.add_pin(b, {1.0, 2.0});
+    d.connect(n2, pb2);
+    d.connect(n2, pm);
+    d.build_rows();
+    return d;
+}
+
+TEST(DesignTest, ConstructionAndQueries) {
+    const Design d = small_design();
+    EXPECT_EQ(d.num_cells(), 3);
+    EXPECT_EQ(d.num_pins(), 4);
+    EXPECT_EQ(d.num_nets(), 2);
+    EXPECT_EQ(d.movable_cells(), (std::vector<int>{0, 1}));
+    EXPECT_EQ(d.macro_cells(), (std::vector<int>{2}));
+    EXPECT_DOUBLE_EQ(d.total_movable_area(), 2 * 8 + 3 * 8.0);
+    EXPECT_DOUBLE_EQ(d.total_fixed_area(), 20 * 16.0);
+    EXPECT_TRUE(d.validate().empty());
+}
+
+TEST(DesignTest, PinPositionFollowsCell) {
+    Design d = small_design();
+    EXPECT_EQ(d.pin_position(0), Vec2(10.5, 13.0));
+    d.cells[0].pos = {20, 20};
+    EXPECT_EQ(d.pin_position(0), Vec2(20.5, 21.0));
+}
+
+TEST(DesignTest, BuildRows) {
+    const Design d = small_design();
+    ASSERT_EQ(d.rows.size(), 10u);  // 80 / 8
+    EXPECT_DOUBLE_EQ(d.rows[0].y, 0.0);
+    EXPECT_DOUBLE_EQ(d.rows[9].y, 72.0);
+    EXPECT_DOUBLE_EQ(d.rows[3].lx, 0.0);
+    EXPECT_DOUBLE_EQ(d.rows[3].hx, 100.0);
+}
+
+TEST(DesignTest, Utilization) {
+    const Design d = small_design();
+    const double free_area = 100.0 * 80.0 - 320.0;
+    EXPECT_NEAR(d.utilization(), 40.0 / free_area, 1e-12);
+}
+
+TEST(DesignTest, ClampMovables) {
+    Design d = small_design();
+    d.cells[0].pos = {-50, 500};
+    d.clamp_movables_to_region();
+    EXPECT_DOUBLE_EQ(d.cells[0].pos.x, 1.0);   // half width
+    EXPECT_DOUBLE_EQ(d.cells[0].pos.y, 76.0);  // region top - half height
+    // Macros are not clamped.
+    d.cells[2].pos = {500, 500};
+    d.clamp_movables_to_region();
+    EXPECT_EQ(d.cells[2].pos, Vec2(500, 500));
+}
+
+TEST(DesignTest, ValidateDetectsBadSize) {
+    Design d = small_design();
+    d.cells[0].width = 0.0;
+    const auto problems = d.validate();
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("non-positive"), std::string::npos);
+}
+
+TEST(DesignTest, AveragePins) {
+    const Design d = small_design();
+    EXPECT_NEAR(d.average_pins_per_cell(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(NetlistIoTest, RoundTrip) {
+    const Design d = small_design();
+    std::stringstream ss;
+    write_design(d, ss);
+    const Design e = read_design(ss);
+    EXPECT_EQ(e.name, d.name);
+    EXPECT_EQ(e.region, d.region);
+    EXPECT_EQ(e.num_cells(), d.num_cells());
+    EXPECT_EQ(e.num_pins(), d.num_pins());
+    EXPECT_EQ(e.num_nets(), d.num_nets());
+    for (int i = 0; i < d.num_cells(); ++i) {
+        EXPECT_EQ(e.cells[i].name, d.cells[i].name);
+        EXPECT_EQ(e.cells[i].kind, d.cells[i].kind);
+        EXPECT_EQ(e.cells[i].pos, d.cells[i].pos);
+    }
+    for (int i = 0; i < d.num_nets(); ++i)
+        EXPECT_EQ(e.nets[i].pins, d.nets[i].pins);
+    EXPECT_TRUE(e.validate().empty());
+}
+
+TEST(NetlistIoTest, RoundTripRails) {
+    Design d = small_design();
+    PGRail r;
+    r.orient = Orient::Vertical;
+    r.box = {5, 0, 6, 80};
+    d.pg_rails.push_back(r);
+    std::stringstream ss;
+    write_design(d, ss);
+    const Design e = read_design(ss);
+    ASSERT_EQ(e.pg_rails.size(), 1u);
+    EXPECT_EQ(e.pg_rails[0].orient, Orient::Vertical);
+    EXPECT_EQ(e.pg_rails[0].box, r.box);
+}
+
+
+TEST(NetlistIoTest, RoundTripRoutingBlockages) {
+    Design d = small_design();
+    d.routing_blockages.push_back({10, 20, 30, 40});
+    d.routing_blockages.push_back({50, 50, 70, 60});
+    std::stringstream ss;
+    write_design(d, ss);
+    const Design e = read_design(ss);
+    ASSERT_EQ(e.routing_blockages.size(), 2u);
+    EXPECT_EQ(e.routing_blockages[0], Rect(10, 20, 30, 40));
+    EXPECT_EQ(e.routing_blockages[1], Rect(50, 50, 70, 60));
+}
+
+TEST(NetlistIoTest, MalformedInputThrows) {
+    std::stringstream ss("cell broken");
+    EXPECT_THROW(read_design(ss), std::runtime_error);
+    std::stringstream ss2("pin 0 1 2");
+    EXPECT_THROW(read_design(ss2), std::runtime_error);  // missing cell
+    std::stringstream ss3("bogus directive");
+    EXPECT_THROW(read_design(ss3), std::runtime_error);
+}
+
+TEST(NetlistIoTest, CommentsAndBlankLinesIgnored) {
+    std::stringstream ss("# a comment\n\ndesign x\nregion 0 0 10 10\n");
+    const Design d = read_design(ss);
+    EXPECT_EQ(d.name, "x");
+    EXPECT_EQ(d.region, Rect(0, 0, 10, 10));
+}
+
+TEST(DesignStatsTest, Histogram) {
+    const Design d = small_design();
+    const DesignStats s = compute_stats(d);
+    EXPECT_EQ(s.num_movable, 2);
+    EXPECT_EQ(s.num_macros, 1);
+    EXPECT_EQ(s.num_nets, 2);
+    EXPECT_EQ(s.num_pins, 4);
+    EXPECT_DOUBLE_EQ(s.avg_net_degree, 2.0);
+    ASSERT_GE(s.degree_histogram.size(), 3u);
+    EXPECT_EQ(s.degree_histogram[2], 2);
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,207 @@
+// Tests for the evaluation layer: DRV proxy components, evaluate_placement,
+// and the report/ratio helpers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchgen/generator.hpp"
+#include "eval/report.hpp"
+#include "eval/map_dump.hpp"
+#include "eval/route_metrics.hpp"
+#include "legal/tetris.hpp"
+#include "util/rng.hpp"
+#include "wirelength/hpwl.hpp"
+
+namespace rdp {
+namespace {
+
+Design eval_design(uint64_t seed = 3, double util = 0.7) {
+    GeneratorConfig cfg;
+    cfg.name = "eval-test";
+    cfg.seed = seed;
+    cfg.num_cells = 500;
+    cfg.num_macros = 2;
+    cfg.utilization = util;
+    Design d = generate_circuit(cfg);
+    tetris_legalize(d);
+    return d;
+}
+
+TEST(DrvProxyTest, ComponentsSumToTotal) {
+    const Design d = eval_design();
+    const BinGrid grid(d.region, 32, 32);
+    GlobalRouter router(grid);
+    const RouteResult rr = router.route(d);
+    const DrvReport rep = drv_proxy(d, rr);
+    EXPECT_EQ(rep.total,
+              rep.overflow_drvs + rep.pin_density_drvs + rep.pg_access_drvs);
+    EXPECT_GE(rep.overflow_drvs, 0);
+    EXPECT_GE(rep.pin_density_drvs, 0);
+    EXPECT_GE(rep.pg_access_drvs, 0);
+}
+
+TEST(DrvProxyTest, OverflowWeightScales) {
+    const Design d = eval_design(4, 0.85);
+    const BinGrid grid(d.region, 32, 32);
+    GlobalRouter router(grid);
+    const RouteResult rr = router.route(d);
+    DrvProxyConfig c1;
+    c1.overflow_weight = 1.0;
+    DrvProxyConfig c2 = c1;
+    c2.overflow_weight = 3.0;
+    const DrvReport r1 = drv_proxy(d, rr, c1);
+    const DrvReport r2 = drv_proxy(d, rr, c2);
+    if (r1.overflow_drvs > 0) {
+        EXPECT_NEAR(static_cast<double>(r2.overflow_drvs),
+                    3.0 * r1.overflow_drvs, 2.0);
+    }
+}
+
+TEST(DrvProxyTest, ClusteredPlacementWorse) {
+    // The same netlist, clustered vs legal-spread: the proxy must rank the
+    // clustered placement worse (it has real overflow and pin pileups).
+    Design spread = eval_design(5, 0.7);
+    Design clustered = spread;
+    const Vec2 c = clustered.region.center();
+    Rng rng(1);
+    for (Cell& cell : clustered.cells) {
+        if (!cell.movable()) continue;
+        cell.pos = {c.x + rng.uniform(-25, 25), c.y + rng.uniform(-25, 25)};
+    }
+    const BinGrid grid(spread.region, 32, 32);
+    GlobalRouter router(grid);
+    const DrvReport r_spread = drv_proxy(spread, router.route(spread));
+    const DrvReport r_clustered =
+        drv_proxy(clustered, router.route(clustered));
+    EXPECT_GT(r_clustered.total, r_spread.total);
+}
+
+TEST(DrvProxyTest, PgAccessCountsOnlyCongestedRailPins) {
+    // Hand-built: one pin under a rail, one not; congestion injected at
+    // the rail pin's G-cell only.
+    Design d;
+    d.region = {0, 0, 160, 160};
+    d.row_height = 8;
+    d.build_rows();
+    const int a = d.add_cell("a", 4, 8, CellKind::Movable, {20, 8});
+    d.add_pin(a, {0, 0});  // at (20, 8) - on the row-1 boundary rail
+    const int b = d.add_cell("b", 4, 8, CellKind::Movable, {100, 100});
+    d.add_pin(b, {0, 0});
+    PGRail rail;
+    rail.orient = Orient::Horizontal;
+    rail.box = {0, 7, 160, 9};
+    d.pg_rails.push_back(rail);
+
+    const BinGrid grid(d.region, 16, 16);
+    RouteResult rr;
+    GridF dmd = grid.make_grid(), cap(16, 16, 10.0);
+    dmd.at(2, 0) = 20.0;  // pin a's G-cell: utilization 2.0
+    rr.congestion = CongestionMap(grid, dmd, cap);
+    DrvProxyConfig cfg;
+    cfg.overflow_weight = 0.0;    // isolate the PG component
+    cfg.pin_density_weight = 0.0;
+    cfg.pg_pin_weight = 1.0;
+    cfg.pg_util_floor = 0.5;
+    const DrvReport rep = drv_proxy(d, rr, cfg);
+    EXPECT_EQ(rep.pg_access_drvs, 2);  // round(2.0 - 0.5) = 2
+    EXPECT_EQ(rep.pin_density_drvs, 0);
+    EXPECT_EQ(rep.overflow_drvs, 0);
+}
+
+TEST(EvalMetricsTest, EvaluatePlacementProducesSaneNumbers) {
+    const Design d = eval_design(6);
+    EvalConfig cfg;
+    cfg.grid_bins = 64;
+    const EvalMetrics m = evaluate_placement(d, cfg);
+    EXPECT_GT(m.drwl, 0.0);
+    EXPECT_GT(m.vias, d.num_pins() / 2);  // at least pin via scale
+    EXPECT_GE(m.drvs, 0);
+    EXPECT_GT(m.route_seconds, 0.0);
+    // DRWL must dominate the sum of net HPWLs' scale (routes detour).
+    EXPECT_GT(m.drwl, 0.5 * total_hpwl(d));
+}
+
+
+TEST(MapDumpTest, WritesValidPgm) {
+    GridF g(4, 3);
+    g.at(0, 0) = 1.0;
+    g.at(3, 2) = 2.0;
+    std::ostringstream os;
+    MapDumpConfig cfg;
+    cfg.cell_pixels = 2;
+    write_pgm(g, os, cfg);
+    const std::string s = os.str();
+    EXPECT_EQ(s.rfind("P5\n8 6\n255\n", 0), 0u);
+    // Header + 8*6 payload bytes.
+    EXPECT_EQ(s.size(), std::string("P5\n8 6\n255\n").size() + 48u);
+    // Max value maps to 255; it is at grid (3,2) = top-right, which is the
+    // first image row's last pixel.
+    const size_t payload = std::string("P5\n8 6\n255\n").size();
+    EXPECT_EQ(static_cast<unsigned char>(s[payload + 7]), 255);
+    // Grid (0,0) = bottom-left maps to half intensity in the last row.
+    EXPECT_EQ(static_cast<unsigned char>(s[payload + 40]), 128);
+}
+
+TEST(MapDumpTest, FixedScaleClampsValues) {
+    GridF g(2, 1);
+    g.at(0, 0) = 5.0;
+    g.at(1, 0) = 50.0;
+    std::ostringstream os;
+    MapDumpConfig cfg;
+    cfg.cell_pixels = 1;
+    cfg.max_value = 10.0;
+    write_pgm(g, os, cfg);
+    const std::string s = os.str();
+    const size_t payload = std::string("P5\n2 1\n255\n").size();
+    EXPECT_EQ(static_cast<unsigned char>(s[payload + 0]), 128);
+    EXPECT_EQ(static_cast<unsigned char>(s[payload + 1]), 255);
+}
+
+TEST(ReportTest, AverageRatios) {
+    std::vector<RunRecord> ours = {
+        {"a", "ours", 100.0, 1000, 10, 1.0, 2.0},
+        {"b", "ours", 200.0, 2000, 20, 2.0, 4.0},
+    };
+    std::vector<RunRecord> other = {
+        {"a", "x", 110.0, 1100, 30, 0.5, 3.0},
+        {"b", "x", 220.0, 2200, 10, 1.0, 6.0},
+    };
+    const RatioSummary s = average_ratios(other, ours);
+    EXPECT_EQ(s.designs, 2);
+    EXPECT_NEAR(s.drwl, 1.1, 1e-12);
+    EXPECT_NEAR(s.vias, 1.1, 1e-12);
+    EXPECT_NEAR(s.drvs, (3.0 + 0.5) / 2.0, 1e-12);
+    EXPECT_NEAR(s.place_time, 0.5, 1e-12);
+    EXPECT_NEAR(s.route_time, 1.5, 1e-12);
+}
+
+TEST(ReportTest, SkipListExcludesDrvOnly) {
+    std::vector<RunRecord> ours = {
+        {"a", "ours", 100.0, 1000, 10, 1.0, 2.0},
+        {"b", "ours", 200.0, 2000, 20, 2.0, 4.0},
+    };
+    std::vector<RunRecord> other = {
+        {"a", "x", 100.0, 1000, 1000, 1.0, 2.0},
+        {"b", "x", 200.0, 2000, 40, 2.0, 4.0},
+    };
+    const RatioSummary s = average_ratios(other, ours, {"a"});
+    EXPECT_NEAR(s.drvs, 2.0, 1e-12);   // only design b counted
+    EXPECT_NEAR(s.drwl, 1.0, 1e-12);   // both designs still counted
+}
+
+TEST(ReportTest, ComparisonTablePrints) {
+    std::vector<std::vector<RunRecord>> placers = {
+        {{"a", "X", 1.0, 1, 1, 1.0, 1.0}},
+        {{"a", "Y", 2.0, 2, 2, 2.0, 2.0}},
+    };
+    const Table t = make_comparison_table(placers);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("X DRWL"), std::string::npos);
+    EXPECT_NE(os.str().find("Y #DRVs"), std::string::npos);
+    EXPECT_NE(os.str().find(" a "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,133 @@
+// Tests for the bin grid geometry and the Eq. (3) congestion map.
+
+#include <gtest/gtest.h>
+
+#include "grid/bin_grid.hpp"
+#include "grid/congestion_map.hpp"
+#include "util/rng.hpp"
+
+namespace rdp {
+namespace {
+
+TEST(BinGridTest, Geometry) {
+    const BinGrid g({0, 0, 100, 50}, 10, 5);
+    EXPECT_DOUBLE_EQ(g.bin_w(), 10.0);
+    EXPECT_DOUBLE_EQ(g.bin_h(), 10.0);
+    EXPECT_DOUBLE_EQ(g.bin_area(), 100.0);
+    EXPECT_EQ(g.bin_box(0, 0), Rect(0, 0, 10, 10));
+    EXPECT_EQ(g.bin_box(9, 4), Rect(90, 40, 100, 50));
+    EXPECT_EQ(g.bin_center(0, 0), Vec2(5, 5));
+}
+
+TEST(BinGridTest, IndexOfClamps) {
+    const BinGrid g({0, 0, 100, 50}, 10, 5);
+    EXPECT_EQ(g.index_of({15, 25}), (GridIndex{1, 2}));
+    EXPECT_EQ(g.index_of({-5, -5}), (GridIndex{0, 0}));
+    EXPECT_EQ(g.index_of({1000, 1000}), (GridIndex{9, 4}));
+    // Boundary: exactly at region max maps to the last bin.
+    EXPECT_EQ(g.index_of({100, 50}), (GridIndex{9, 4}));
+}
+
+TEST(BinGridTest, SplatConservesArea) {
+    const BinGrid g({0, 0, 64, 64}, 8, 8);
+    Rng rng(4);
+    for (int trial = 0; trial < 50; ++trial) {
+        GridF acc = g.make_grid();
+        const double w = rng.uniform(0.5, 30.0), h = rng.uniform(0.5, 30.0);
+        const Vec2 c{rng.uniform(5, 59), rng.uniform(5, 59)};
+        const Rect r = Rect::from_center(c, w, h);
+        g.splat_area(acc, r);
+        EXPECT_NEAR(grid_sum(acc), r.intersect(g.region()).area(), 1e-9);
+    }
+}
+
+TEST(BinGridTest, SplatScale) {
+    const BinGrid g({0, 0, 64, 64}, 8, 8);
+    GridF acc = g.make_grid();
+    g.splat_area(acc, {0, 0, 8, 8}, 2.5);
+    EXPECT_NEAR(acc.at(0, 0), 8 * 8 * 2.5, 1e-12);
+    EXPECT_NEAR(grid_sum(acc), 160.0, 1e-12);
+}
+
+TEST(BinGridTest, SplatOutsideRegionIgnored) {
+    const BinGrid g({0, 0, 64, 64}, 8, 8);
+    GridF acc = g.make_grid();
+    g.splat_area(acc, {-20, -20, -10, -10});
+    EXPECT_DOUBLE_EQ(grid_sum(acc), 0.0);
+}
+
+TEST(BinGridTest, BilinearInterpolation) {
+    const BinGrid g({0, 0, 40, 40}, 4, 4);
+    GridF f = g.make_grid();
+    // Linear field v = x at bin centers -> bilinear recovers it exactly
+    // between centers.
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x) f.at(x, y) = g.bin_center(x, y).x;
+    EXPECT_NEAR(g.sample_bilinear(f, {15, 20}), 15.0, 1e-12);
+    EXPECT_NEAR(g.sample_bilinear(f, {27.5, 8}), 27.5, 1e-12);
+    // Outside the outer centers it clamps.
+    EXPECT_NEAR(g.sample_bilinear(f, {0, 20}), 5.0, 1e-12);
+    EXPECT_NEAR(g.sample_bilinear(f, {40, 20}), 35.0, 1e-12);
+}
+
+TEST(BinGridTest, SampleFieldCombinesComponents) {
+    const BinGrid g({0, 0, 40, 40}, 4, 4);
+    GridF fx = g.make_grid(), fy = g.make_grid();
+    fx.fill(3.0);
+    fy.fill(-2.0);
+    const Vec2 v = g.sample_field(fx, fy, {17, 23});
+    EXPECT_DOUBLE_EQ(v.x, 3.0);
+    EXPECT_DOUBLE_EQ(v.y, -2.0);
+}
+
+CongestionMap simple_cmap() {
+    const BinGrid g({0, 0, 40, 40}, 4, 4);
+    GridF dmd = g.make_grid(), cap = g.make_grid();
+    cap.fill(10.0);
+    dmd.fill(5.0);
+    dmd.at(1, 1) = 15.0;  // 50% overflow
+    dmd.at(2, 2) = 30.0;  // 200% overflow
+    dmd.at(3, 3) = 10.0;  // exactly at capacity
+    return CongestionMap(g, dmd, cap);
+}
+
+TEST(CongestionMapTest, Eq3Congestion) {
+    const CongestionMap m = simple_cmap();
+    EXPECT_DOUBLE_EQ(m.congestion_at(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(m.congestion_at(1, 1), 0.5);
+    EXPECT_DOUBLE_EQ(m.congestion_at(2, 2), 2.0);
+    EXPECT_DOUBLE_EQ(m.congestion_at(3, 3), 0.0);  // max(1-1, 0)
+    EXPECT_DOUBLE_EQ(m.utilization_at(1, 1), 1.5);
+    EXPECT_DOUBLE_EQ(m.congestion_at_point({15, 15}), 0.5);
+}
+
+TEST(CongestionMapTest, Aggregates) {
+    const CongestionMap m = simple_cmap();
+    EXPECT_EQ(m.overflowed_cells(), 2);
+    EXPECT_DOUBLE_EQ(m.total_overflow(), 5.0 + 20.0);
+    EXPECT_DOUBLE_EQ(m.average_congestion(), 2.5 / 16.0);
+    EXPECT_DOUBLE_EQ(m.peak_utilization(), 3.0);
+}
+
+TEST(CongestionMapTest, Grids) {
+    const CongestionMap m = simple_cmap();
+    const GridF c = m.congestion_grid();
+    EXPECT_DOUBLE_EQ(c.at(2, 2), 2.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 3), 0.0);
+    const GridF u = m.utilization_grid();
+    EXPECT_DOUBLE_EQ(u.at(0, 0), 0.5);
+    EXPECT_DOUBLE_EQ(u.at(2, 2), 3.0);
+}
+
+TEST(CongestionMapTest, ZeroCapacityHandled) {
+    const BinGrid g({0, 0, 20, 20}, 2, 2);
+    GridF dmd = g.make_grid(), cap = g.make_grid();
+    dmd.at(0, 0) = 4.0;  // demand with zero capacity -> utilization 1
+    const CongestionMap m(g, dmd, cap);
+    EXPECT_DOUBLE_EQ(m.utilization_at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m.utilization_at(1, 1), 0.0);
+    EXPECT_DOUBLE_EQ(m.congestion_at(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace rdp

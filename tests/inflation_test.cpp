@@ -1,0 +1,222 @@
+// Tests for momentum-based cell inflation (Eq. 11-12) and the baseline
+// schemes, including property sweeps over random congestion traces.
+
+#include <gtest/gtest.h>
+
+#include "inflation/baseline_inflation.hpp"
+#include "inflation/momentum_inflation.hpp"
+#include "util/rng.hpp"
+
+namespace rdp {
+namespace {
+
+/// One movable cell at a fixed position plus a 4x4 congestion map whose
+/// value at the cell is scripted per iteration.
+struct Harness {
+    BinGrid grid{Rect{0, 0, 40, 40}, 4, 4};
+    Design d;
+    GridF cap{4, 4, 10.0};
+
+    Harness() {
+        d.region = {0, 0, 40, 40};
+        d.add_cell("c", 2, 8, CellKind::Movable, {5, 5});  // bin (0,0)
+    }
+
+    /// Map with congestion `c` at the cell's bin and `rest` elsewhere
+    /// (values are Eq. (3) congestion, i.e. dmd = (1+c)*cap).
+    CongestionMap map(double c, double rest = 0.0) const {
+        GridF dmd(4, 4, (1.0 + rest) * 10.0);
+        dmd.at(0, 0) = (1.0 + c) * 10.0;
+        return CongestionMap(grid, dmd, cap);
+    }
+};
+
+MomentumInflationConfig unit_gain_config() {
+    MomentumInflationConfig cfg;
+    cfg.congestion_gain = 1.0;  // check Eq. (11) literally
+    return cfg;
+}
+
+TEST(MomentumInflationTest, FirstIterationDeltaEqualsCongestion) {
+    Harness h;
+    MomentumInflation mi(1, unit_gain_config());
+    mi.update(h.d, h.map(0.5));
+    // dr^1 = C^1 = 0.5; r^1 = clamp(1 + 0.5) = 1.5.
+    EXPECT_DOUBLE_EQ(mi.delta_r()[0], 0.5);
+    EXPECT_DOUBLE_EQ(mi.ratios()[0], 1.5);
+    EXPECT_EQ(mi.iteration(), 1);
+}
+
+TEST(MomentumInflationTest, MomentumRecurrence) {
+    Harness h;
+    MomentumInflationConfig cfg = unit_gain_config();  // alpha = 0.4
+    MomentumInflation mi(1, cfg);
+    mi.update(h.d, h.map(0.5));
+    // Second iteration, still congested (delta = 1, s = C = 0.3):
+    // dr^2 = 0.4*0.5 + 0.6*0.3 = 0.38; r = min(1.5 + 0.38, 2.0) = 1.88.
+    mi.update(h.d, h.map(0.3));
+    EXPECT_NEAR(mi.delta_r()[0], 0.38, 1e-12);
+    EXPECT_NEAR(mi.ratios()[0], 1.88, 1e-12);
+}
+
+TEST(MomentumInflationTest, ClampsAtRmax) {
+    Harness h;
+    MomentumInflation mi(1, unit_gain_config());
+    for (int t = 0; t < 10; ++t) mi.update(h.d, h.map(1.5));
+    EXPECT_DOUBLE_EQ(mi.ratios()[0], 2.0);
+}
+
+TEST(MomentumInflationTest, DeflationBranchTriggers) {
+    Harness h;
+    MomentumInflation mi(1, unit_gain_config());
+    // t=1: cell congested well above the map average.
+    mi.update(h.d, h.map(1.0, 0.0));
+    const double r_after_inflate = mi.ratios()[0];
+    EXPECT_GT(r_after_inflate, 1.0);
+    // t=2: cell below average (cell 0.1, elsewhere 0.8): Eq. (12) branch.
+    // delta = -|C1/avg1 - C2/avg2| < 0, s = delta * C2 < 0, so dr must drop
+    // below the pure momentum decay alpha * dr1.
+    const double dr1 = mi.delta_r()[0];
+    mi.update(h.d, h.map(0.1, 0.8));
+    EXPECT_LT(mi.delta_r()[0], 0.4 * dr1);
+}
+
+TEST(MomentumInflationTest, DeltaFormula) {
+    MomentumInflation mi(1);
+    // Deflation case: c_prev=0.8 above avg_prev=0.4; c_now=0.1 below
+    // avg_now=0.5 -> delta = -|0.8/0.4 - 0.1/0.5| = -1.8.
+    EXPECT_NEAR(mi.delta(0.8, 0.1, 0.4, 0.5), -1.8, 1e-12);
+    // Not deflation: still above average now.
+    EXPECT_DOUBLE_EQ(mi.delta(0.8, 0.6, 0.4, 0.5), 1.0);
+    // Not deflation: was below average before.
+    EXPECT_DOUBLE_EQ(mi.delta(0.2, 0.1, 0.4, 0.5), 1.0);
+}
+
+TEST(MomentumInflationTest, DeflationClampedByMaxDeflation) {
+    MomentumInflationConfig cfg;
+    cfg.max_deflation = 2.0;
+    MomentumInflation mi(1, cfg);
+    EXPECT_DOUBLE_EQ(mi.delta(10.0, 0.0, 0.1, 0.5), -2.0);
+}
+
+TEST(MomentumInflationTest, FixedCellsUntouched) {
+    Harness h;
+    h.d.add_cell("macro", 10, 10, CellKind::Macro, {5, 5});
+    MomentumInflation mi(2);
+    mi.update(h.d, h.map(1.0));
+    EXPECT_GT(mi.ratios()[0], 1.0);
+    EXPECT_DOUBLE_EQ(mi.ratios()[1], 1.0);
+}
+
+TEST(MomentumInflationTest, ResetClearsHistory) {
+    Harness h;
+    MomentumInflation mi(1);
+    mi.update(h.d, h.map(1.0));
+    mi.reset(1);
+    EXPECT_EQ(mi.iteration(), 0);
+    EXPECT_DOUBLE_EQ(mi.ratios()[0], 1.0);
+    EXPECT_DOUBLE_EQ(mi.delta_r()[0], 0.0);
+}
+
+class InflationBoundsSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InflationBoundsSweep, RatiosAlwaysWithinBounds) {
+    // Property: whatever the congestion trace, r stays in [r_min, r_max].
+    Harness h;
+    MomentumInflationConfig cfg;
+    MomentumInflation mi(1, cfg);
+    Rng rng(GetParam());
+    for (int t = 0; t < 60; ++t) {
+        mi.update(h.d, h.map(rng.uniform(0.0, 3.0), rng.uniform(0.0, 1.5)));
+        EXPECT_GE(mi.ratios()[0], cfg.r_min);
+        EXPECT_LE(mi.ratios()[0], cfg.r_max);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, InflationBoundsSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(CurrentOnlyInflationTest, RevertsWhenCongestionClears) {
+    // The documented weakness: the ratio snaps back to 1 immediately.
+    Harness h;
+    CurrentOnlyInflation ci(1);
+    ci.update(h.d, h.map(0.8));
+    EXPECT_GT(ci.ratios()[0], 1.0);
+    ci.update(h.d, h.map(0.0));
+    EXPECT_DOUBLE_EQ(ci.ratios()[0], 1.0);
+}
+
+TEST(MomentumInflationTest, KeepsInflationAfterEscape) {
+    // The paper's motivation: momentum keeps a cell inflated for a while
+    // after leaving the hotspot, unlike the current-only scheme.
+    Harness h;
+    MomentumInflation mi(1, unit_gain_config());
+    BaselineInflationConfig bc;
+    bc.beta = 1.0;
+    CurrentOnlyInflation ci(1, bc);
+    for (int t = 0; t < 3; ++t) {
+        mi.update(h.d, h.map(1.0));
+        ci.update(h.d, h.map(1.0));
+    }
+    mi.update(h.d, h.map(0.0));
+    ci.update(h.d, h.map(0.0));
+    EXPECT_DOUBLE_EQ(ci.ratios()[0], 1.0);
+    EXPECT_GT(mi.ratios()[0], 1.2);
+}
+
+TEST(MonotoneInflationTest, NeverDecreases) {
+    Harness h;
+    MonotoneInflation mo(1);
+    Rng rng(42);
+    double prev = 1.0;
+    for (int t = 0; t < 30; ++t) {
+        mo.update(h.d, h.map(rng.uniform(0.0, 0.3)));
+        EXPECT_GE(mo.ratios()[0], prev - 1e-12);
+        prev = mo.ratios()[0];
+    }
+    EXPECT_LE(prev, 2.0);
+}
+
+TEST(MonotoneInflationTest, OverInflationWeakness) {
+    // The documented weakness: the ratio stays pinned high even after the
+    // congestion is long gone.
+    Harness h;
+    MonotoneInflation mo(1);
+    for (int t = 0; t < 5; ++t) mo.update(h.d, h.map(0.5));
+    const double peak = mo.ratios()[0];
+    for (int t = 0; t < 20; ++t) mo.update(h.d, h.map(0.0));
+    EXPECT_DOUBLE_EQ(mo.ratios()[0], peak);
+}
+
+TEST(MomentumInflationTest, CanDeflateBelowOne) {
+    // r_min = 0.9 < 1: a strong deflation event (moved from well above to
+    // well below average) can shrink the cell below its native size,
+    // recovering area for others.
+    Harness h;
+    MomentumInflationConfig cfg = unit_gain_config();
+    MomentumInflation mi(1, cfg);
+    // t1: mildly congested cell, quiet map -> r = 1.5, dr = 0.5.
+    mi.update(h.d, h.map(0.5, 0.1));
+    // t2: cell at 0.4 while the map average is ~1.15: deflation with
+    // s = delta * 0.4 strongly negative -> r drops below 1.
+    mi.update(h.d, h.map(0.4, 1.2));
+    EXPECT_LT(mi.ratios()[0], 1.0);
+    EXPECT_GE(mi.ratios()[0], cfg.r_min);
+}
+
+TEST(NoInflationTest, IdentityRatios) {
+    Harness h;
+    NoInflation ni(1);
+    ni.update(h.d, h.map(2.0));
+    EXPECT_DOUBLE_EQ(ni.ratios()[0], 1.0);
+}
+
+TEST(InflationSchemeTest, Names) {
+    EXPECT_STREQ(MomentumInflation(1).name(), "momentum");
+    EXPECT_STREQ(CurrentOnlyInflation(1).name(), "current-only");
+    EXPECT_STREQ(MonotoneInflation(1).name(), "monotone");
+    EXPECT_STREQ(NoInflation(1).name(), "none");
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,202 @@
+// Tests for PG rail generation, selection (macro cutting + length filter,
+// paper Fig. 4), and the dynamic pin-accessibility density (Eq. 13-15).
+
+#include <gtest/gtest.h>
+
+#include "pinaccess/dynamic_density.hpp"
+#include "pinaccess/pg_rails.hpp"
+#include "pinaccess/rail_select.hpp"
+
+namespace rdp {
+namespace {
+
+Design design_with_macro() {
+    Design d;
+    d.name = "pa";
+    d.region = {0, 0, 200, 160};
+    d.row_height = 8.0;
+    d.site_width = 1.0;
+    d.build_rows();
+    d.add_cell("macro", 60, 40, CellKind::Macro, {100, 80});
+    return d;
+}
+
+TEST(PgRailsTest, HorizontalRailPerRowBoundary) {
+    Design d = design_with_macro();
+    PGRailConfig cfg;
+    cfg.vertical_straps = 0;
+    build_pg_rails(d, cfg);
+    // 20 rows -> 20 bottom boundaries + 1 top = 21 horizontal rails.
+    ASSERT_EQ(d.pg_rails.size(), 21u);
+    for (const PGRail& r : d.pg_rails) {
+        EXPECT_EQ(r.orient, Orient::Horizontal);
+        EXPECT_DOUBLE_EQ(r.box.lx, 0.0);
+        EXPECT_DOUBLE_EQ(r.box.hx, 200.0);
+        EXPECT_NEAR(r.box.height(), cfg.rail_width_frac * 8.0, 1e-12);
+    }
+    // First rail centered on y = 0, second on y = 8.
+    EXPECT_NEAR(d.pg_rails[0].box.center().y, 0.0, 1e-12);
+    EXPECT_NEAR(d.pg_rails[1].box.center().y, 8.0, 1e-12);
+}
+
+TEST(PgRailsTest, VerticalStraps) {
+    Design d = design_with_macro();
+    PGRailConfig cfg;
+    cfg.vertical_straps = 3;
+    build_pg_rails(d, cfg);
+    int verts = 0;
+    for (const PGRail& r : d.pg_rails) {
+        if (r.orient != Orient::Vertical) continue;
+        ++verts;
+        EXPECT_DOUBLE_EQ(r.box.ly, 0.0);
+        EXPECT_DOUBLE_EQ(r.box.hy, 160.0);
+    }
+    EXPECT_EQ(verts, 3);
+}
+
+TEST(PgRailsTest, RowStepSkipsRows) {
+    Design d = design_with_macro();
+    PGRailConfig cfg;
+    cfg.vertical_straps = 0;
+    cfg.row_step = 2;
+    build_pg_rails(d, cfg);
+    // Every other row boundary + the top: 10 + 1.
+    EXPECT_EQ(d.pg_rails.size(), 11u);
+}
+
+TEST(RailSelectTest, CutRailByBlocker) {
+    PGRail rail;
+    rail.orient = Orient::Horizontal;
+    rail.box = {0, 99, 200, 101};
+    const std::vector<Rect> blockers = {{80, 90, 120, 110}};
+    const auto pieces = cut_rail(rail, blockers);
+    ASSERT_EQ(pieces.size(), 2u);
+    EXPECT_DOUBLE_EQ(pieces[0].box.lx, 0.0);
+    EXPECT_DOUBLE_EQ(pieces[0].box.hx, 80.0);
+    EXPECT_DOUBLE_EQ(pieces[1].box.lx, 120.0);
+    EXPECT_DOUBLE_EQ(pieces[1].box.hx, 200.0);
+    // Cross-section preserved.
+    EXPECT_DOUBLE_EQ(pieces[0].box.ly, 99.0);
+    EXPECT_DOUBLE_EQ(pieces[0].box.hy, 101.0);
+}
+
+TEST(RailSelectTest, BlockerMissingCrossSectionIgnored) {
+    PGRail rail;
+    rail.orient = Orient::Horizontal;
+    rail.box = {0, 99, 200, 101};
+    // Blocker overlaps in x but not in y: rail untouched.
+    const auto pieces = cut_rail(rail, {{80, 120, 120, 140}});
+    ASSERT_EQ(pieces.size(), 1u);
+    EXPECT_EQ(pieces[0].box, rail.box);
+}
+
+TEST(RailSelectTest, VerticalCut) {
+    PGRail rail;
+    rail.orient = Orient::Vertical;
+    rail.box = {99, 0, 101, 160};
+    const auto pieces = cut_rail(rail, {{90, 60, 110, 100}});
+    ASSERT_EQ(pieces.size(), 2u);
+    EXPECT_DOUBLE_EQ(pieces[0].box.hy, 60.0);
+    EXPECT_DOUBLE_EQ(pieces[1].box.ly, 100.0);
+}
+
+TEST(RailSelectTest, SelectionFiltersShortPieces) {
+    Design d = design_with_macro();  // macro 60x40 at center
+    PGRailConfig rc;
+    rc.vertical_straps = 0;
+    build_pg_rails(d, rc);
+    RailSelectConfig sc;  // expand 10%, min length 0.2 * 200 = 40
+    const auto selected = select_pg_rails(d, sc);
+    ASSERT_FALSE(selected.empty());
+    for (const PGRail& r : selected) {
+        EXPECT_GE(r.length(), 0.2 * d.region.width() - 1e-9);
+        // No selected rail may cross the expanded macro box.
+        const Rect expanded =
+            d.cells[0].bbox().scaled_about_center(1.10);
+        EXPECT_FALSE(r.box.intersects(expanded));
+    }
+    // Rails away from the macro (y < 60) survive full width; rails through
+    // the macro rows (y in [60,100]) are cut into two pieces of length 67
+    // and 66 -> both survive the 40 threshold, so count stays high.
+    int full = 0, cut = 0;
+    for (const PGRail& r : selected) {
+        if (r.length() > 199.0)
+            ++full;
+        else
+            ++cut;
+    }
+    EXPECT_GT(full, 0);
+    EXPECT_GT(cut, 0);
+}
+
+TEST(RailSelectTest, TightMacroChannelRejected) {
+    // Two macros with a narrow gap: the rail piece between them is shorter
+    // than the threshold and must be dropped (the paper's motivation for
+    // the pre-selection).
+    Design d;
+    d.region = {0, 0, 200, 160};
+    d.row_height = 8.0;
+    d.build_rows();
+    d.add_cell("m1", 80, 40, CellKind::Macro, {45, 80});
+    d.add_cell("m2", 80, 40, CellKind::Macro, {155, 80});
+    PGRailConfig rc;
+    rc.vertical_straps = 0;
+    build_pg_rails(d, rc);
+    const auto selected = select_pg_rails(d, {});
+    ASSERT_FALSE(selected.empty());
+    // Expanded macros leave a 22-DBU channel (< 0.2 * 200 = 40) plus 1-DBU
+    // edge slivers at the macro rows: every piece there must be dropped.
+    for (const PGRail& r : selected) {
+        const bool at_macro_rows =
+            r.box.center().y > 58.0 && r.box.center().y < 102.0;
+        EXPECT_FALSE(at_macro_rows)
+            << "channel piece should have been dropped: " << r.box.lx << ".."
+            << r.box.hx << " at y=" << r.box.center().y;
+    }
+}
+
+TEST(DynamicDensityTest, RailAreaRasterization) {
+    const BinGrid g({0, 0, 160, 160}, 16, 16);
+    std::vector<PGRail> rails(1);
+    rails[0].orient = Orient::Horizontal;
+    rails[0].box = {0, 79, 160, 81};
+    const GridF area = rail_area_per_bin(rails, g);
+    EXPECT_NEAR(grid_sum(area), 160.0 * 2.0, 1e-9);
+    // The rail straddles the boundary between rows 7 and 8.
+    EXPECT_NEAR(area.at(0, 7), 10.0, 1e-9);
+    EXPECT_NEAR(area.at(0, 8), 10.0, 1e-9);
+}
+
+TEST(DynamicDensityTest, Eq15GatesByAverage) {
+    const BinGrid g({0, 0, 160, 160}, 16, 16);
+    std::vector<PGRail> rails(1);
+    rails[0].orient = Orient::Horizontal;
+    rails[0].box = {0, 79, 160, 81};
+    const GridF area = rail_area_per_bin(rails, g);
+
+    GridF dmd(16, 16, 0.0), cap(16, 16, 10.0);
+    dmd.at(3, 7) = 25.0;  // congestion 1.5 at one rail bin
+    dmd.at(3, 2) = 25.0;  // congestion off-rail: no rail area there anyway
+    const CongestionMap cmap(g, dmd, cap);
+
+    const GridF extra = dynamic_pg_density(area, cmap);
+    // avg congestion = 3.0/256 ~ 0.0117; congested rail bin gets
+    // (1 + 1.5) * railarea, all other rail bins get 0 (eta = 0).
+    EXPECT_NEAR(extra.at(3, 7), 2.5 * area.at(3, 7), 1e-9);
+    EXPECT_DOUBLE_EQ(extra.at(5, 7), 0.0);
+    EXPECT_DOUBLE_EQ(extra.at(3, 2), 0.0);  // no rail -> no density
+}
+
+TEST(DynamicDensityTest, StaticVariantIgnoresCongestion) {
+    const BinGrid g({0, 0, 160, 160}, 16, 16);
+    std::vector<PGRail> rails(1);
+    rails[0].orient = Orient::Vertical;
+    rails[0].box = {79, 0, 81, 160};
+    const GridF area = rail_area_per_bin(rails, g);
+    const GridF extra = static_pg_density(area, 0.5);
+    EXPECT_NEAR(grid_sum(extra), 0.5 * grid_sum(area), 1e-9);
+    EXPECT_NEAR(extra.at(7, 4), 0.5 * area.at(7, 4), 1e-12);
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,203 @@
+// Integration tests for the global placement engine: objective wiring,
+// filler handling, stage-1 spreading, and the routability loop.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/generator.hpp"
+#include "legal/tetris.hpp"
+#include "place/global_placer.hpp"
+#include "place/objective.hpp"
+#include "place/routability_loop.hpp"
+#include "wirelength/hpwl.hpp"
+
+namespace rdp {
+namespace {
+
+GeneratorConfig small_cfg(uint64_t seed = 7) {
+    GeneratorConfig cfg;
+    cfg.name = "placer-test";
+    cfg.seed = seed;
+    cfg.num_cells = 400;
+    cfg.num_macros = 2;
+    cfg.macro_area_frac = 0.1;
+    cfg.utilization = 0.7;
+    cfg.num_ios = 16;
+    return cfg;
+}
+
+PlacerConfig fast_cfg(PlacerMode mode) {
+    PlacerConfig cfg;
+    cfg.mode = mode;
+    cfg.grid_bins = 32;
+    cfg.max_wl_iters = 120;
+    cfg.stop_overflow = 0.12;
+    cfg.max_route_iters = 3;
+    cfg.inner_iters = 6;
+    cfg.router.rrr_rounds = 1;
+    cfg.dp.max_passes = 1;
+    return cfg;
+}
+
+TEST(PlacerTest, AddFillersFillsWhitespace) {
+    Design d = generate_circuit(small_cfg());
+    PlacerConfig cfg;
+    cfg.density.target_density = 0.9;
+    cfg.filler_ratio = 1.0;
+    const int before = d.num_cells();
+    const int first = GlobalPlacer::add_fillers(d, cfg, 1);
+    EXPECT_EQ(first, before);
+    EXPECT_GT(d.num_cells(), before);
+    // Filler area ~ target * free - movable.
+    double filler_area = 0.0;
+    for (int i = first; i < d.num_cells(); ++i) {
+        EXPECT_TRUE(d.cells[i].movable());
+        EXPECT_TRUE(d.cells[i].pins.empty());
+        filler_area += d.cells[i].area();
+    }
+    const double spare = 0.9 * (d.region.area() - d.total_fixed_area()) -
+                         (d.total_movable_area() - filler_area);
+    EXPECT_NEAR(filler_area, spare, spare * 0.05 + 10.0);
+}
+
+TEST(PlacerTest, NoFillersWhenDense) {
+    GeneratorConfig g = small_cfg();
+    g.utilization = 0.95;
+    Design d = generate_circuit(g);
+    PlacerConfig cfg;
+    cfg.density.target_density = 0.8;  // target below actual utilization
+    const int before = d.num_cells();
+    GlobalPlacer::add_fillers(d, cfg, 1);
+    EXPECT_EQ(d.num_cells(), before);
+}
+
+TEST(PlacerTest, WirelengthStageSpreadsCells) {
+    const Design input = generate_circuit(small_cfg());
+    GlobalPlacer placer(fast_cfg(PlacerMode::WirelengthOnly));
+    const PlaceResult res = placer.place(input);
+    ASSERT_FALSE(res.overflow_history.empty());
+    // Overflow must drop substantially from the centered start.
+    EXPECT_LT(res.overflow_history.back(),
+              0.6 * res.overflow_history.front());
+    EXPECT_GT(res.wl_iters, 20);
+    EXPECT_EQ(res.route_outer_iters, 0);
+}
+
+TEST(PlacerTest, ResultIsLegalAndFillerFree) {
+    const Design input = generate_circuit(small_cfg());
+    GlobalPlacer placer(fast_cfg(PlacerMode::Ours));
+    const PlaceResult res = placer.place(input);
+    EXPECT_EQ(res.placed.num_cells(), input.num_cells());
+    EXPECT_TRUE(is_legal(res.placed));
+    EXPECT_EQ(res.legal_stats.cells_failed, 0);
+    EXPECT_GT(res.hpwl_final, 0.0);
+    EXPECT_GT(res.place_seconds, 0.0);
+}
+
+TEST(PlacerTest, RoutabilityStageRuns) {
+    const Design input = generate_circuit(small_cfg());
+    GlobalPlacer placer(fast_cfg(PlacerMode::Ours));
+    const PlaceResult res = placer.place(input);
+    EXPECT_GT(res.route_outer_iters, 0);
+    EXPECT_EQ(res.congestion_history.size(),
+              static_cast<size_t>(res.route_outer_iters));
+    EXPECT_EQ(res.penalty_history.size(),
+              static_cast<size_t>(res.route_outer_iters));
+}
+
+TEST(PlacerTest, DeterministicForFixedSeed) {
+    const Design input = generate_circuit(small_cfg());
+    GlobalPlacer placer(fast_cfg(PlacerMode::Ours));
+    const PlaceResult a = placer.place(input);
+    const PlaceResult b = placer.place(input);
+    EXPECT_DOUBLE_EQ(a.hpwl_final, b.hpwl_final);
+    for (int i = 0; i < a.placed.num_cells(); ++i)
+        EXPECT_EQ(a.placed.cells[i].pos, b.placed.cells[i].pos);
+}
+
+TEST(PlacerTest, AllModesComplete) {
+    const Design input = generate_circuit(small_cfg());
+    for (const PlacerMode mode : {PlacerMode::WirelengthOnly,
+                                  PlacerMode::RouteBaseline,
+                                  PlacerMode::Ours}) {
+        GlobalPlacer placer(fast_cfg(mode));
+        const PlaceResult res = placer.place(input);
+        EXPECT_TRUE(is_legal(res.placed));
+        EXPECT_GT(res.hpwl_final, 0.0);
+    }
+}
+
+TEST(PlacerTest, HpwlComparableAcrossModes) {
+    // Routability techniques must not blow up wirelength (paper: DRWL
+    // ratios ~1.00 across all three columns).
+    const Design input = generate_circuit(small_cfg());
+    const double wl_only =
+        GlobalPlacer(fast_cfg(PlacerMode::WirelengthOnly)).place(input)
+            .hpwl_final;
+    const double ours =
+        GlobalPlacer(fast_cfg(PlacerMode::Ours)).place(input).hpwl_final;
+    EXPECT_LT(ours, 1.5 * wl_only);
+    EXPECT_GT(ours, 0.5 * wl_only);
+}
+
+TEST(MakeInflationSchemeTest, MatchesModeAndToggles) {
+    PlacerConfig cfg;
+    cfg.mode = PlacerMode::Ours;
+    cfg.enable_mci = true;
+    EXPECT_STREQ(make_inflation_scheme(cfg, 4)->name(), "momentum");
+    cfg.enable_mci = false;
+    EXPECT_STREQ(make_inflation_scheme(cfg, 4)->name(), "monotone");
+    cfg.mode = PlacerMode::RouteBaseline;
+    cfg.enable_mci = true;  // ignored outside Ours
+    EXPECT_STREQ(make_inflation_scheme(cfg, 4)->name(), "monotone");
+}
+
+TEST(ObjectiveTest, GradientCombinesTerms) {
+    Design d = generate_circuit(small_cfg());
+    const std::vector<int> movable = d.movable_cells();
+    std::vector<Vec2> pos(movable.size());
+    for (size_t i = 0; i < movable.size(); ++i)
+        pos[i] = d.cells[movable[i]].pos;
+
+    const BinGrid grid(d.region, 32, 32);
+    PlacementObjective obj(grid, {}, {}, 4.0 * grid.bin_w());
+    obj.set_lambda1(0.0);
+    std::vector<Vec2> g_wl_only;
+    const ObjectiveTerms t0 = obj.evaluate(d, movable, pos, g_wl_only);
+    EXPECT_GT(t0.wirelength, 0.0);
+    EXPECT_GT(t0.wl_grad_l1, 0.0);
+    EXPECT_GT(t0.density_grad_l1, 0.0);
+    EXPECT_DOUBLE_EQ(t0.lambda2, 0.0);  // no congestion term attached
+
+    obj.set_lambda1(5.0);
+    std::vector<Vec2> g_with_density;
+    obj.evaluate(d, movable, pos, g_with_density);
+    // Density contribution changes the gradient.
+    double diff = 0.0;
+    for (size_t i = 0; i < movable.size(); ++i)
+        diff += (g_with_density[i] - g_wl_only[i]).norm1();
+    EXPECT_GT(diff, 0.0);
+}
+
+TEST(RoutabilityStageTest, StandaloneRunImprovesOrHoldsOverflow) {
+    Design d = generate_circuit(small_cfg(9));
+    // Pre-spread with the wirelength stage.
+    PlacerConfig cfg = fast_cfg(PlacerMode::Ours);
+    GlobalPlacer placer(cfg);
+    PlaceResult pre = placer.place(d);
+    // Run the routability stage directly on the legalized result.
+    Design work = pre.placed;
+    const std::vector<int> movable = work.movable_cells();
+    const BinGrid grid(work.region, 32, 32);
+    PlacementObjective obj(grid, cfg.density, cfg.netmove,
+                           4.0 * grid.bin_w());
+    obj.set_lambda1(1.0);
+    const RoutabilityStats rs =
+        run_routability_stage(work, movable, obj, cfg, {}, work.num_cells());
+    EXPECT_GT(rs.outer_iters, 0);
+    ASSERT_FALSE(rs.total_overflow.empty());
+    ASSERT_EQ(rs.mean_inflation.size(), rs.total_overflow.size());
+    for (const double m : rs.mean_inflation) EXPECT_GE(m, 0.9);
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,185 @@
+// Tests for the routability-stage machinery added around the paper's
+// techniques: the inflation area budget, the severity-weighted overflow,
+// and the behavior of the outer loop's keep-best guarantee.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/generator.hpp"
+#include "eval/route_metrics.hpp"
+#include "grid/congestion_map.hpp"
+#include "place/global_placer.hpp"
+#include "place/objective.hpp"
+#include "place/routability_loop.hpp"
+
+namespace rdp {
+namespace {
+
+TEST(WeightedOverflowTest, CountsOnlyBeyondSlack) {
+    const BinGrid g({0, 0, 40, 40}, 4, 4);
+    GridF dmd(4, 4, 0.0), cap(4, 4, 10.0);
+    dmd.at(0, 0) = 11.0;  // util 1.1: inside the 1.2 slack -> no contribution
+    dmd.at(1, 1) = 15.0;  // util 1.5: over = 15 - 12 = 3, weight 1.5^2
+    const CongestionMap m(g, dmd, cap);
+    EXPECT_DOUBLE_EQ(m.weighted_overflow(1.2, 2.0), 3.0 * 1.5 * 1.5);
+    // With zero slack and exponent it reduces to plain overflow.
+    EXPECT_DOUBLE_EQ(m.weighted_overflow(1.0, 0.0), 1.0 + 5.0);
+    EXPECT_DOUBLE_EQ(m.weighted_overflow(1.0, 0.0), m.total_overflow());
+}
+
+TEST(WeightedOverflowTest, SeverityOrdersHotspots) {
+    // Same total overflow, different concentration: the concentrated map
+    // must score worse.
+    const BinGrid g({0, 0, 40, 40}, 4, 4);
+    GridF cap(4, 4, 10.0);
+    GridF spread(4, 4, 0.0), hot(4, 4, 0.0);
+    for (int i = 0; i < 4; ++i) spread.at(i, 0) = 15.0;  // 4 cells at 1.5x
+    hot.at(0, 0) = 30.0;                                  // 1 cell at 3.0x
+    hot.at(1, 0) = 10.0;
+    hot.at(2, 0) = 10.0;
+    hot.at(3, 0) = 10.0;
+    const CongestionMap ms(g, spread, cap), mh(g, hot, cap);
+    ASSERT_DOUBLE_EQ(ms.total_overflow(), mh.total_overflow());
+    EXPECT_GT(mh.weighted_overflow(), ms.weighted_overflow());
+}
+
+/// Design with two real movable cells and two fillers.
+Design budget_design() {
+    Design d;
+    d.region = {0, 0, 100, 100};
+    d.add_cell("a", 10, 10, CellKind::Movable, {20, 20});  // area 100
+    d.add_cell("b", 20, 10, CellKind::Movable, {60, 60});  // area 200
+    d.add_cell("f0", 10, 10, CellKind::Movable, {40, 40});
+    d.add_cell("f1", 10, 10, CellKind::Movable, {80, 80});
+    return d;
+}
+
+TEST(BudgetInflationTest, WithinBudgetPassesThrough) {
+    Design d = budget_design();
+    // Raw extra = 100*0.2 + 200*0.1 = 40 <= budget 0.8 * 200 = 160.
+    std::vector<double> r = {1.2, 1.1, 1.0, 1.0};
+    const double filler_ratio = budget_inflation(d, 2, r, 0.8);
+    EXPECT_DOUBLE_EQ(r[0], 1.2);
+    EXPECT_DOUBLE_EQ(r[1], 1.1);
+    // Fillers shrink by exactly the consumed 40 of 200 area.
+    EXPECT_NEAR(filler_ratio, 1.0 - 40.0 / 200.0, 1e-12);
+    EXPECT_DOUBLE_EQ(r[2], filler_ratio);
+    EXPECT_DOUBLE_EQ(r[3], filler_ratio);
+}
+
+TEST(BudgetInflationTest, OverBudgetScalesExcess) {
+    Design d = budget_design();
+    // Raw extra = 100*1.0 + 200*1.0 = 300 > budget 0.5 * 200 = 100.
+    std::vector<double> r = {2.0, 2.0, 1.0, 1.0};
+    budget_inflation(d, 2, r, 0.5);
+    // Excesses scaled by 100/300.
+    EXPECT_NEAR(r[0], 1.0 + 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(r[1], 1.0 + 1.0 / 3.0, 1e-12);
+    // Area check: consumed equals the full budget.
+    const double consumed = 100 * (r[0] - 1.0) + 200 * (r[1] - 1.0);
+    EXPECT_NEAR(consumed, 100.0, 1e-9);
+    EXPECT_NEAR(r[2], 1.0 - 100.0 / 200.0, 1e-12);
+}
+
+TEST(BudgetInflationTest, ExtraAreaReducesBudget) {
+    Design d = budget_design();
+    std::vector<double> r = {2.0, 1.0, 1.0, 1.0};  // raw extra = 100
+    // Budget = 0.8*200 - extra 100 = 60 -> scale 0.6.
+    budget_inflation(d, 2, r, 0.8, 100.0);
+    EXPECT_NEAR(r[0], 1.6, 1e-12);
+    // Fillers absorb the inflated 60 plus the extra 100.
+    EXPECT_NEAR(r[2], 1.0 - 160.0 / 200.0, 1e-12);
+}
+
+TEST(BudgetInflationTest, NoFillersNoInflation) {
+    Design d = budget_design();
+    d.cells.resize(2);  // drop fillers
+    std::vector<double> r = {2.0, 2.0};
+    const double fr = budget_inflation(d, 2, r, 0.8);
+    EXPECT_DOUBLE_EQ(fr, 1.0);
+    // Budget is zero -> all excess removed.
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+    EXPECT_DOUBLE_EQ(r[1], 1.0);
+}
+
+TEST(BudgetInflationTest, FillerRatioFloored) {
+    Design d = budget_design();
+    std::vector<double> r = {1.0, 1.0, 1.0, 1.0};
+    // Extra area far beyond the fillers: ratio clamps at the floor.
+    const double fr = budget_inflation(d, 2, r, 1.5, 1e6);
+    EXPECT_NEAR(fr, 0.05, 1e-12);
+}
+
+TEST(RoutabilityLoopTest, NeverEndsWorseThanEntry) {
+    // The keep-best guarantee: the routability stage's final placement
+    // must not route worse (severity-weighted) than its entry state.
+    GeneratorConfig gc;
+    gc.seed = 55;
+    gc.num_cells = 500;
+    gc.utilization = 0.78;
+    gc.num_macros = 2;
+    Design d = generate_circuit(gc);
+
+    PlacerConfig cfg;
+    cfg.mode = PlacerMode::Ours;
+    cfg.grid_bins = 32;
+    cfg.max_wl_iters = 120;
+    cfg.max_route_iters = 3;
+    cfg.inner_iters = 6;
+    cfg.router.rrr_rounds = 1;
+
+    // Entry state: a full wirelength-only placement.
+    PlacerConfig wl_cfg = cfg;
+    wl_cfg.mode = PlacerMode::WirelengthOnly;
+    Design work = GlobalPlacer(wl_cfg).place(d).placed;
+
+    const BinGrid grid(work.region, 32, 32);
+    GlobalRouter router(grid, cfg.router);
+    const double entry =
+        router.route(work).congestion.weighted_overflow();
+
+    const std::vector<int> movable = work.movable_cells();
+    PlacementObjective obj(grid, cfg.density, cfg.netmove,
+                           4.0 * grid.bin_w());
+    obj.set_lambda1(1.0);
+    run_routability_stage(work, movable, obj, cfg, {}, work.num_cells());
+    const double exit_ov =
+        router.route(work).congestion.weighted_overflow();
+    EXPECT_LE(exit_ov, entry * 1.0 + 1e-6);
+}
+
+TEST(EffectiveLayersTest, CapacityScalesWithGcellSize) {
+    GeneratorConfig gc;
+    gc.num_cells = 100;
+    const Design d = generate_circuit(gc);
+    RouterConfig rc;
+    const GlobalRouter coarse(BinGrid(d.region, 16, 16), rc);
+    const GlobalRouter fine(BinGrid(d.region, 32, 32), rc);
+    const auto lc = coarse.effective_layers();
+    const auto lf = fine.effective_layers();
+    ASSERT_EQ(lc.size(), lf.size());
+    for (size_t i = 0; i < lc.size(); ++i) {
+        EXPECT_NEAR(lc[i].capacity, 2.0 * lf[i].capacity, 1e-9)
+            << "layer " << i;
+        EXPECT_EQ(lc[i].dir, lf[i].dir);
+    }
+}
+
+TEST(InflationGainTest, GainScalesFirstStep) {
+    // With gain g, dr^1 = g * C^1.
+    Design d;
+    d.region = {0, 0, 40, 40};
+    d.add_cell("c", 2, 8, CellKind::Movable, {5, 5});
+    const BinGrid g({0, 0, 40, 40}, 4, 4);
+    GridF dmd(4, 4, 0.0), cap(4, 4, 10.0);
+    dmd.at(0, 0) = 20.0;  // congestion 1.0
+    const CongestionMap cmap(g, dmd, cap);
+    MomentumInflationConfig cfg;
+    cfg.congestion_gain = 0.25;
+    MomentumInflation mi(1, cfg);
+    mi.update(d, cmap);
+    EXPECT_DOUBLE_EQ(mi.delta_r()[0], 0.25);
+    EXPECT_DOUBLE_EQ(mi.ratios()[0], 1.25);
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,307 @@
+// Unit tests for the utility layer: geometry, Grid2D, RNG, stats, tables.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/geometry.hpp"
+#include "util/grid2d.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rdp {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+    const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+    EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+    EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+    EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+    EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+    EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+    EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).norm(), 5.0);
+    EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).norm2(), 25.0);
+    EXPECT_DOUBLE_EQ(Vec2(3.0, -4.0).norm1(), 7.0);
+}
+
+TEST(Vec2Test, NormalizedAndPerp) {
+    const Vec2 v{3.0, 4.0};
+    const Vec2 n = v.normalized();
+    EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(n.x, 0.6, 1e-12);
+    // Zero vector normalizes to zero (no NaN).
+    EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+    // perp is a +90 degree rotation: orthogonal, same length.
+    EXPECT_DOUBLE_EQ(v.perp().dot(v), 0.0);
+    EXPECT_DOUBLE_EQ(v.perp().norm2(), v.norm2());
+}
+
+TEST(RectTest, BasicsAndOverlap) {
+    const Rect r{0, 0, 10, 4};
+    EXPECT_DOUBLE_EQ(r.width(), 10.0);
+    EXPECT_DOUBLE_EQ(r.height(), 4.0);
+    EXPECT_DOUBLE_EQ(r.area(), 40.0);
+    EXPECT_EQ(r.center(), Vec2(5.0, 2.0));
+    EXPECT_TRUE(r.contains({5, 2}));
+    EXPECT_TRUE(r.contains({0, 0}));  // boundary inclusive
+    EXPECT_FALSE(r.contains({-0.1, 2}));
+
+    const Rect o{5, 2, 15, 10};
+    EXPECT_TRUE(r.intersects(o));
+    EXPECT_DOUBLE_EQ(r.overlap_area(o), 5.0 * 2.0);
+    EXPECT_DOUBLE_EQ(r.overlap_area({20, 20, 30, 30}), 0.0);
+    EXPECT_EQ(r.united(o), Rect(0, 0, 15, 10));
+    EXPECT_EQ(r.intersect(o), Rect(5, 2, 10, 4));
+}
+
+TEST(RectTest, TouchingRectsDoNotIntersect) {
+    const Rect a{0, 0, 5, 5}, b{5, 0, 10, 5};
+    EXPECT_FALSE(a.intersects(b));
+    EXPECT_DOUBLE_EQ(a.overlap_area(b), 0.0);
+}
+
+TEST(RectTest, FromCenterExpandScale) {
+    const Rect r = Rect::from_center({4, 4}, 2, 6);
+    EXPECT_EQ(r, Rect(3, 1, 5, 7));
+    EXPECT_EQ(r.expanded(1), Rect(2, 0, 6, 8));
+    const Rect s = r.scaled_about_center(2.0);
+    EXPECT_EQ(s.center(), r.center());
+    EXPECT_DOUBLE_EQ(s.width(), 4.0);
+    EXPECT_DOUBLE_EQ(s.height(), 12.0);
+}
+
+TEST(RectTest, ClampPoint) {
+    const Rect r{0, 0, 10, 10};
+    EXPECT_EQ(r.clamp({-5, 5}), Vec2(0, 5));
+    EXPECT_EQ(r.clamp({3, 42}), Vec2(3, 10));
+    EXPECT_EQ(r.clamp({3, 4}), Vec2(3, 4));
+}
+
+TEST(IntervalTest, SubtractNone) {
+    const auto out = subtract_intervals({0, 10}, {});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], Interval(0, 10));
+}
+
+TEST(IntervalTest, SubtractMiddle) {
+    const auto out = subtract_intervals({0, 10}, {{4, 6}});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], Interval(0, 4));
+    EXPECT_EQ(out[1], Interval(6, 10));
+}
+
+TEST(IntervalTest, SubtractOverlappingUnsortedCuts) {
+    const auto out = subtract_intervals({0, 20}, {{12, 15}, {3, 8}, {7, 10}});
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], Interval(0, 3));
+    EXPECT_EQ(out[1], Interval(10, 12));
+    EXPECT_EQ(out[2], Interval(15, 20));
+}
+
+TEST(IntervalTest, SubtractCoveringAll) {
+    EXPECT_TRUE(subtract_intervals({2, 8}, {{0, 10}}).empty());
+}
+
+TEST(IntervalTest, CutsOutsideBaseIgnored) {
+    const auto out = subtract_intervals({5, 10}, {{0, 2}, {12, 20}});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], Interval(5, 10));
+}
+
+
+class IntervalPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalPropertySweep, SubtractionInvariants) {
+    // Properties for random cut sets: outputs are sorted, disjoint,
+    // contained in the base, disjoint from every cut, and together with
+    // the cuts cover the base exactly (by total length).
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 40; ++trial) {
+        const Interval base{0.0, rng.uniform(5.0, 50.0)};
+        std::vector<Interval> cuts;
+        const int n = rng.uniform_int(0, 8);
+        for (int i = 0; i < n; ++i) {
+            const double a = rng.uniform(-5.0, base.hi + 5.0);
+            const double b = a + rng.uniform(0.0, 10.0);
+            cuts.push_back({a, b});
+        }
+        const auto out = subtract_intervals(base, cuts);
+
+        double cover = 0.0;
+        double prev_hi = base.lo - 1.0;
+        for (const Interval& piece : out) {
+            EXPECT_GT(piece.length(), 0.0);
+            EXPECT_GE(piece.lo, base.lo - 1e-12);
+            EXPECT_LE(piece.hi, base.hi + 1e-12);
+            EXPECT_GE(piece.lo, prev_hi - 1e-12);  // sorted & disjoint
+            prev_hi = piece.hi;
+            cover += piece.length();
+            for (const Interval& c : cuts) {
+                const double olap = std::min(piece.hi, c.hi) -
+                                    std::max(piece.lo, c.lo);
+                EXPECT_LE(olap, 1e-9) << "piece overlaps a cut";
+            }
+        }
+        // Length accounting: base = pieces + (cuts clipped to base, unioned).
+        std::vector<Interval> clipped;
+        for (const Interval& c : cuts) {
+            const Interval cl{std::max(c.lo, base.lo), std::min(c.hi, base.hi)};
+            if (!cl.empty()) clipped.push_back(cl);
+        }
+        std::sort(clipped.begin(), clipped.end(),
+                  [](const Interval& a, const Interval& b) {
+                      return a.lo < b.lo;
+                  });
+        double cut_cover = 0.0;
+        double cursor = base.lo;
+        for (const Interval& c : clipped) {
+            if (c.hi <= cursor) continue;
+            cut_cover += c.hi - std::max(c.lo, cursor);
+            cursor = c.hi;
+        }
+        EXPECT_NEAR(cover + cut_cover, base.length(), 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalPropertySweep,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(Grid2DTest, IndexingAndBounds) {
+    Grid2D<int> g(4, 3, 7);
+    EXPECT_EQ(g.width(), 4);
+    EXPECT_EQ(g.height(), 3);
+    EXPECT_EQ(g.size(), 12u);
+    EXPECT_EQ(g.at(0, 0), 7);
+    g.at(3, 2) = 42;
+    EXPECT_EQ(g.at(3, 2), 42);
+    EXPECT_TRUE(g.in_bounds(3, 2));
+    EXPECT_FALSE(g.in_bounds(4, 0));
+    EXPECT_FALSE(g.in_bounds(0, -1));
+    EXPECT_EQ(g.at_clamped(10, 10), 42);
+    EXPECT_EQ(g.at_clamped(-3, 0), 7);
+}
+
+TEST(Grid2DTest, RowMajorLayout) {
+    GridF g(3, 2);
+    g.at(1, 0) = 1.0;
+    g.at(0, 1) = 2.0;
+    // Row-major with x fastest: index 1 is (1,0), index 3 is (0,1).
+    EXPECT_DOUBLE_EQ(g.raw()[1], 1.0);
+    EXPECT_DOUBLE_EQ(g.raw()[3], 2.0);
+}
+
+TEST(Grid2DTest, Reductions) {
+    GridF g(2, 2);
+    g.at(0, 0) = 1;
+    g.at(1, 0) = 2;
+    g.at(0, 1) = 3;
+    g.at(1, 1) = -4;
+    EXPECT_DOUBLE_EQ(grid_sum(g), 2.0);
+    EXPECT_DOUBLE_EQ(grid_max(g), 3.0);
+    EXPECT_DOUBLE_EQ(grid_mean(g), 0.5);
+    GridF h(2, 2, 1.0);
+    grid_add(h, g);
+    EXPECT_DOUBLE_EQ(h.at(1, 1), -3.0);
+    grid_scale(h, 2.0);
+    EXPECT_DOUBLE_EQ(h.at(0, 0), 4.0);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next_u64() == b.next_u64()) ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRange) {
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(2.0, 5.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+    Rng r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int v = r.uniform_int(3, 6);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 6);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 6);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMoments) {
+    Rng r(99);
+    RunningStats st;
+    for (int i = 0; i < 20000; ++i) st.add(r.normal(10.0, 2.0));
+    EXPECT_NEAR(st.mean(), 10.0, 0.1);
+    EXPECT_NEAR(st.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, GeometricMean) {
+    Rng r(5);
+    RunningStats st;
+    const double p = 0.4;
+    for (int i = 0; i < 20000; ++i)
+        st.add(static_cast<double>(r.geometric1(p)));
+    EXPECT_NEAR(st.mean(), 1.0 / p, 0.1);
+    EXPECT_GE(st.min(), 1.0);
+}
+
+TEST(StatsTest, RunningStats) {
+    RunningStats st;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(v);
+    EXPECT_EQ(st.count(), 8);
+    EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(st.min(), 2.0);
+    EXPECT_DOUBLE_EQ(st.max(), 9.0);
+    EXPECT_NEAR(st.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StatsTest, Means) {
+    EXPECT_DOUBLE_EQ(geometric_mean({2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geometric_mean({1.0, -1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(arithmetic_mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(l1_norm({1.0, -2.0, 3.0}), 6.0);
+}
+
+TEST(StatsTest, Percentile) {
+    std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(TableTest, FormatsAlignedTable) {
+    Table t({"a", "bb"});
+    t.add_row({"1", "2"});
+    t.add_separator();
+    t.add_row({"333", "4"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("| 333 |"), std::string::npos);
+    EXPECT_NE(s.find("|   a | bb |"), std::string::npos);
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt_int(42), "42");
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,162 @@
+// Tests for HPWL and the WA smooth wirelength model, including
+// finite-difference gradient verification.
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "wirelength/hpwl.hpp"
+#include "wirelength/wa_model.hpp"
+
+namespace rdp {
+namespace {
+
+/// Design with `n` single-pin cells all on one net, at given positions.
+Design chain_design(const std::vector<Vec2>& positions) {
+    Design d;
+    d.region = {0, 0, 1000, 1000};
+    const int net = d.add_net("n");
+    for (size_t i = 0; i < positions.size(); ++i) {
+        const int c = d.add_cell("c" + std::to_string(i), 2, 8,
+                                 CellKind::Movable, positions[i]);
+        const int p = d.add_pin(c, {0, 0});
+        d.connect(net, p);
+    }
+    return d;
+}
+
+TEST(HpwlTest, TwoPinNet) {
+    const Design d = chain_design({{10, 20}, {40, 60}});
+    EXPECT_DOUBLE_EQ(net_hpwl(d, d.nets[0]), 30.0 + 40.0);
+    EXPECT_DOUBLE_EQ(total_hpwl(d), 70.0);
+}
+
+TEST(HpwlTest, MultiPinBoundingBox) {
+    const Design d = chain_design({{0, 0}, {10, 5}, {4, 20}, {7, 3}});
+    EXPECT_DOUBLE_EQ(net_hpwl(d, d.nets[0]), 10.0 + 20.0);
+    const Rect b = net_bbox(d, d.nets[0]);
+    EXPECT_EQ(b, Rect(0, 0, 10, 20));
+}
+
+TEST(HpwlTest, DegenerateNets) {
+    Design d;
+    d.region = {0, 0, 100, 100};
+    const int c = d.add_cell("c", 2, 8, CellKind::Movable, {50, 50});
+    const int p = d.add_pin(c, {0, 0});
+    const int net = d.add_net("single");
+    d.connect(net, p);
+    EXPECT_DOUBLE_EQ(net_hpwl(d, d.nets[0]), 0.0);
+    d.add_net("empty");
+    EXPECT_DOUBLE_EQ(net_hpwl(d, d.nets[1]), 0.0);
+    EXPECT_DOUBLE_EQ(total_hpwl(d), 0.0);
+}
+
+TEST(HpwlTest, NetWeightScalesTotal) {
+    Design d = chain_design({{0, 0}, {10, 10}});
+    d.nets[0].weight = 3.0;
+    EXPECT_DOUBLE_EQ(total_hpwl(d), 60.0);
+}
+
+TEST(HpwlTest, PinOffsetsCount) {
+    Design d = chain_design({{10, 10}, {20, 10}});
+    d.pins[0].offset = {-1.0, 2.0};
+    d.pins[1].offset = {1.0, 0.0};
+    EXPECT_DOUBLE_EQ(net_hpwl(d, d.nets[0]), (21.0 - 9.0) + 2.0);
+}
+
+TEST(WaModelTest, UnderestimatesAndConvergesToHpwl) {
+    const Design d = chain_design({{3, 7}, {55, 40}, {20, 90}, {77, 12}});
+    const double hp = net_hpwl(d, d.nets[0]);
+    double prev_err = 1e18;
+    for (const double gamma : {64.0, 16.0, 4.0, 1.0, 0.25}) {
+        const WAWirelength wa(gamma);
+        const double w = wa.net_wa(d, d.nets[0]);
+        EXPECT_LE(w, hp + 1e-9) << "gamma " << gamma;
+        const double err = hp - w;
+        EXPECT_LE(err, prev_err + 1e-9) << "gamma " << gamma;
+        prev_err = err;
+    }
+    // Tight approximation at small gamma.
+    EXPECT_NEAR(WAWirelength(0.25).net_wa(d, d.nets[0]), hp, 0.05 * hp);
+}
+
+TEST(WaModelTest, TwoPinExactLimit) {
+    const Design d = chain_design({{0, 0}, {100, 0}});
+    EXPECT_NEAR(WAWirelength(0.5).net_wa(d, d.nets[0]), 100.0, 1e-6);
+}
+
+TEST(WaModelTest, StableForLargeCoordinates) {
+    // Exponent shifting must prevent overflow with huge coordinates and
+    // tiny gamma.
+    const Design d = chain_design({{1e7, 2e7}, {1.5e7, 2.4e7}, {1.2e7, 2.2e7}});
+    const WAWirelength wa(1.0);
+    const double w = wa.net_wa(d, d.nets[0]);
+    EXPECT_TRUE(std::isfinite(w));
+    EXPECT_NEAR(w, net_hpwl(d, d.nets[0]), 10.0);
+}
+
+class WaGradientCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaGradientCheck, MatchesFiniteDifference) {
+    const int degree = GetParam();
+    Rng rng(100 + degree);
+    std::vector<Vec2> pos(static_cast<size_t>(degree));
+    for (auto& p : pos) p = {rng.uniform(0, 200), rng.uniform(0, 200)};
+    Design d = chain_design(pos);
+    const WAWirelength wa(8.0);
+
+    const WirelengthResult res = wa.evaluate(d);
+    const double h = 1e-5;
+    for (int i = 0; i < d.num_cells(); ++i) {
+        for (int axis = 0; axis < 2; ++axis) {
+            Design dp = d;
+            Design dm = d;
+            auto& cp = dp.cells[static_cast<size_t>(i)].pos;
+            auto& cm = dm.cells[static_cast<size_t>(i)].pos;
+            (axis == 0 ? cp.x : cp.y) += h;
+            (axis == 0 ? cm.x : cm.y) -= h;
+            const double fd = (wa.evaluate(dp).total - wa.evaluate(dm).total) /
+                              (2.0 * h);
+            const double an = axis == 0 ? res.cell_grad[i].x
+                                        : res.cell_grad[i].y;
+            EXPECT_NEAR(an, fd, 1e-5 + 1e-4 * std::abs(fd))
+                << "cell " << i << " axis " << axis;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, WaGradientCheck,
+                         ::testing::Values(2, 3, 5, 9, 17));
+
+TEST(WaModelTest, GradientAccumulatesOverNets) {
+    // A cell on two nets receives the sum of both nets' gradients.
+    Design d;
+    d.region = {0, 0, 100, 100};
+    const int a = d.add_cell("a", 2, 8, CellKind::Movable, {50, 50});
+    const int b = d.add_cell("b", 2, 8, CellKind::Movable, {10, 50});
+    const int c = d.add_cell("c", 2, 8, CellKind::Movable, {90, 50});
+    const int n1 = d.add_net("n1");
+    d.connect(n1, d.add_pin(a, {0, 0}));
+    d.connect(n1, d.add_pin(b, {0, 0}));
+    const int n2 = d.add_net("n2");
+    d.connect(n2, d.add_pin(a, {0, 0}));
+    d.connect(n2, d.add_pin(c, {0, 0}));
+    const WAWirelength wa(4.0);
+    const WirelengthResult res = wa.evaluate(d);
+    // a sits between b and c: pulls cancel approximately.
+    EXPECT_NEAR(res.cell_grad[static_cast<size_t>(a)].x, 0.0, 1e-6);
+    // b is pulled right (positive gradient means increasing x increases WL,
+    // so the descent direction -grad points right; grad must be negative).
+    EXPECT_LT(res.cell_grad[static_cast<size_t>(b)].x, 0.0);
+    EXPECT_GT(res.cell_grad[static_cast<size_t>(c)].x, 0.0);
+}
+
+TEST(WaModelTest, WeightedTotal) {
+    Design d = chain_design({{0, 0}, {10, 0}});
+    d.nets[0].weight = 2.0;
+    const WAWirelength wa(1.0);
+    const WirelengthResult res = wa.evaluate(d);
+    EXPECT_NEAR(res.total, 2.0 * wa.net_wa(d, d.nets[0]), 1e-12);
+}
+
+}  // namespace
+}  // namespace rdp
