@@ -13,6 +13,7 @@
 #include "poisson/poisson.hpp"
 #include "router/global_router.hpp"
 #include "router/net_decompose.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "wirelength/wa_model.hpp"
 
@@ -126,6 +127,63 @@ void BM_NetMovingGradient(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_NetMovingGradient)->Arg(1000)->Arg(4000);
+
+// --- Thread-scaling benchmarks -------------------------------------------
+// The parallel execution layer guarantees bitwise-identical results for any
+// thread count, so these measure pure speedup. Arg = worker count; run on a
+// >= 4-core host to see the scaling curve (on fewer cores the higher counts
+// just oversubscribe). `run_benches.sh` records the 1/2/4/8 sweep.
+
+/// Pins the worker count for one benchmark run, restoring it afterwards.
+struct ThreadArgGuard {
+    int saved = par::max_threads();
+    explicit ThreadArgGuard(benchmark::State& state) {
+        par::set_max_threads(static_cast<int>(state.range(0)));
+    }
+    ~ThreadArgGuard() { par::set_max_threads(saved); }
+};
+
+void BM_WaGradientThreads(benchmark::State& state) {
+    ThreadArgGuard threads(state);
+    const Design d = bench_design(16000);
+    const WAWirelength wa(8.0);
+    for (auto _ : state) {
+        auto res = wa.evaluate(d);
+        benchmark::DoNotOptimize(res.total);
+    }
+}
+BENCHMARK(BM_WaGradientThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DensityScatterThreads(benchmark::State& state) {
+    ThreadArgGuard threads(state);
+    const Design d = bench_design(16000);
+    const BinGrid grid(d.region, 64, 64);
+    const ElectroDensity ed(grid);
+    for (auto _ : state) {
+        auto rho = ed.movable_density(d);
+        benchmark::DoNotOptimize(rho.data());
+    }
+}
+BENCHMARK(BM_DensityScatterThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_RouterRrrRoundThreads(benchmark::State& state) {
+    ThreadArgGuard threads(state);
+    const Design d = bench_design(4000);
+    const BinGrid grid(d.region, 64, 64);
+    RouterConfig cfg;
+    cfg.rrr_rounds = 1;
+    const GlobalRouter router(grid, cfg);
+    for (auto _ : state) {
+        auto rr = router.route(d);
+        benchmark::DoNotOptimize(rr.total_overflow);
+    }
+}
+BENCHMARK(BM_RouterRrrRoundThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

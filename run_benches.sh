@@ -14,3 +14,9 @@ for b in table1_main table2_ablation fig1_congestion_decomposition \
 done
 echo; echo "##### bench/micro_kernels #####"
 ./build/bench/micro_kernels --benchmark_min_time=0.05 2>/dev/null
+# Thread-scaling sweep for the parallel execution layer (WA gradient,
+# density scatter, one-RRR-round route at 1/2/4/8 workers). Results are
+# bitwise identical across thread counts; only the wall clock moves.
+echo; echo "##### bench/micro_kernels (thread scaling) #####"
+./build/bench/micro_kernels \
+  --benchmark_filter='Threads/' --benchmark_min_time=0.2 2>/dev/null

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/parallel.hpp"
+
 namespace rdp {
 
 ElectroDensity::ElectroDensity(BinGrid grid, DensityConfig cfg)
@@ -35,14 +37,17 @@ EffBox effective_box(const Cell& c, double r, const BinGrid& g) {
 GridF ElectroDensity::movable_density(
     const Design& d, const std::vector<double>* inflation) const {
     GridF rho = grid_.make_grid();
-    for (int i = 0; i < d.num_cells(); ++i) {
-        const Cell& c = d.cells[i];
-        if (!c.movable()) continue;
-        const double r =
-            inflation != nullptr ? (*inflation)[static_cast<size_t>(i)] : 1.0;
-        const EffBox eb = effective_box(c, r, grid_);
-        grid_.splat_area(rho, eb.box, eb.scale);
-    }
+    // Chunk-parallel scatter with ordered merge (see parallel_splat).
+    parallel_splat(grid_, rho, static_cast<size_t>(d.num_cells()), 512,
+                   [&](GridF& g, size_t i) {
+                       const Cell& c = d.cells[i];
+                       if (!c.movable()) return;
+                       const double r = inflation != nullptr
+                                            ? (*inflation)[i]
+                                            : 1.0;
+                       const EffBox eb = effective_box(c, r, grid_);
+                       grid_.splat_area(g, eb.box, eb.scale);
+                   });
     return rho;
 }
 
@@ -50,16 +55,18 @@ DensityResult ElectroDensity::evaluate(const Design& d,
                                        const std::vector<double>* inflation,
                                        const GridF* extra_density) const {
     DensityResult res;
-    res.cell_grad.assign(static_cast<size_t>(d.num_cells()), Vec2{});
+    const size_t num_cells = static_cast<size_t>(d.num_cells());
+    res.cell_grad.assign(num_cells, Vec2{});
 
     // Movable charge (with inflation) and fixed obstruction charge.
     const GridF mov = movable_density(d, inflation);
     GridF rho = mov;
     GridF fixed = grid_.make_grid();
-    for (const Cell& c : d.cells) {
-        if (c.movable()) continue;
-        grid_.splat_area(fixed, c.bbox());
-    }
+    parallel_splat(grid_, fixed, num_cells, 512, [&](GridF& g, size_t i) {
+        const Cell& c = d.cells[i];
+        if (c.movable()) return;
+        grid_.splat_area(g, c.bbox());
+    });
     // Fixed area beyond the target density acts as full charge; this keeps
     // macros repulsive without over-charging lightly blocked bins.
     grid_add(rho, fixed);
@@ -85,52 +92,72 @@ DensityResult ElectroDensity::evaluate(const Design& d,
     // 1/2 sum q_i psi_i is only consistent with the per-cell gradient
     // q grad(psi) when fixed charges' energy terms are included, since
     // half of a movable-fixed interaction lives in the fixed term.
-    for (int i = 0; i < d.num_cells(); ++i) {
-        const Cell& c = d.cells[i];
-        const double r =
-            (c.movable() && inflation != nullptr)
-                ? (*inflation)[static_cast<size_t>(i)]
-                : 1.0;
-        const EffBox eb = c.movable() ? effective_box(c, r, grid_)
-                                      : EffBox{c.bbox(), 1.0};
-        double psi_acc = 0.0, ex_acc = 0.0, ey_acc = 0.0;
-        grid_.for_each_overlap(eb.box, [&](int ix, int iy, double a) {
-            const double w = a * eb.scale;
-            psi_acc += w * sol.potential.at(ix, iy);
-            if (c.movable()) {
-                ex_acc += w * sol.field_x.at(ix, iy);
-                ey_acc += w * sol.field_y.at(ix, iy);
-            }
-        });
-        res.penalty += 0.5 * psi_acc;
-        if (!c.movable()) continue;
-        // dD/dx_i = q_i d(psi)/dx = -q_i E, footprint-averaged and
-        // converted to physical units.
-        res.cell_grad[static_cast<size_t>(i)] =
-            Vec2{-ex_acc * inv_bw, -ey_acc * inv_bh};
-    }
+    // Parallel over cell chunks: gradients go to disjoint slots, the
+    // penalty is reduced in fixed chunk order.
+    res.penalty += par::parallel_sum(num_cells, 512, [&](size_t b, size_t e) {
+        double psi_chunk = 0.0;
+        for (size_t i = b; i < e; ++i) {
+            const Cell& c = d.cells[i];
+            const double r =
+                (c.movable() && inflation != nullptr) ? (*inflation)[i] : 1.0;
+            const EffBox eb = c.movable() ? effective_box(c, r, grid_)
+                                          : EffBox{c.bbox(), 1.0};
+            double psi_acc = 0.0, ex_acc = 0.0, ey_acc = 0.0;
+            grid_.for_each_overlap(eb.box, [&](int ix, int iy, double a) {
+                const double w = a * eb.scale;
+                psi_acc += w * sol.potential.at(ix, iy);
+                if (c.movable()) {
+                    ex_acc += w * sol.field_x.at(ix, iy);
+                    ey_acc += w * sol.field_y.at(ix, iy);
+                }
+            });
+            psi_chunk += 0.5 * psi_acc;
+            if (!c.movable()) continue;
+            // dD/dx_i = q_i d(psi)/dx = -q_i E, footprint-averaged and
+            // converted to physical units.
+            res.cell_grad[i] = Vec2{-ex_acc * inv_bw, -ey_acc * inv_bh};
+        }
+        return psi_chunk;
+    });
 
     // The extra (DPA) charge also carries its half of the interaction
     // energy, keeping penalty and gradient consistent.
     if (extra_density != nullptr) {
-        for (int y = 0; y < rho.height(); ++y)
-            for (int x = 0; x < rho.width(); ++x)
-                res.penalty +=
-                    0.5 * extra_density->at(x, y) * sol.potential.at(x, y);
+        res.penalty += par::parallel_sum(
+            rho.size(), 16384, [&](size_t b, size_t e) {
+                const double* q = extra_density->data();
+                const double* psi = sol.potential.data();
+                double acc = 0.0;
+                for (size_t i = b; i < e; ++i) acc += 0.5 * q[i] * psi[i];
+                return acc;
+            });
     }
 
     // Normalized overflow tau = sum_b max(mov_b - target * free_b, 0) / mov.
-    double total_mov = 0.0, over = 0.0;
-    for (int y = 0; y < mov.height(); ++y) {
-        for (int x = 0; x < mov.width(); ++x) {
-            const double free_area =
-                std::max(grid_.bin_area() - fixed.at(x, y), 0.0);
-            total_mov += mov.at(x, y);
-            over += std::max(mov.at(x, y) - cfg_.target_density * free_area,
-                             0.0);
-        }
-    }
-    res.overflow = total_mov > 0.0 ? over / total_mov : 0.0;
+    struct OverflowAcc {
+        double mov = 0.0, over = 0.0;
+    };
+    const OverflowAcc of = par::parallel_reduce(
+        mov.size(), 16384, OverflowAcc{},
+        [&](size_t b, size_t e) {
+            OverflowAcc acc;
+            const double* m = mov.data();
+            const double* f = fixed.data();
+            for (size_t i = b; i < e; ++i) {
+                const double free_area =
+                    std::max(grid_.bin_area() - f[i], 0.0);
+                acc.mov += m[i];
+                acc.over += std::max(
+                    m[i] - cfg_.target_density * free_area, 0.0);
+            }
+            return acc;
+        },
+        [](OverflowAcc a, OverflowAcc b) {
+            a.mov += b.mov;
+            a.over += b.over;
+            return a;
+        });
+    res.overflow = of.mov > 0.0 ? of.over / of.mov : 0.0;
     return res;
 }
 

@@ -11,6 +11,7 @@
 #include "db/design.hpp"
 #include "util/geometry.hpp"
 #include "util/grid2d.hpp"
+#include "util/parallel.hpp"
 
 namespace rdp {
 
@@ -82,5 +83,31 @@ private:
     double bin_w_ = 0.0;
     double bin_h_ = 0.0;
 };
+
+/// Deterministic parallel scatter: for each item i in [0, n), `splat(g, i)`
+/// accumulates into a grid; items are chunked (chunking a function of n
+/// only), each chunk splats into a private zero grid, and the per-chunk
+/// grids are summed into `out` bin-by-bin in ascending chunk order — so the
+/// result is bitwise identical for any RDP_THREADS value. `out` must
+/// already have the grid's dimensions (it is added to, not cleared).
+template <typename SplatFn>
+void parallel_splat(const BinGrid& grid, GridF& out, size_t n, size_t grain,
+                    SplatFn&& splat) {
+    if (n == 0) return;
+    const par::ChunkPlan cp = par::plan(n, grain, 16);
+    std::vector<GridF> partial(cp.num_chunks);
+    par::run_chunks(cp, [&](size_t b, size_t e, size_t c) {
+        GridF g = grid.make_grid();
+        for (size_t i = b; i < e; ++i) splat(g, i);
+        partial[c] = std::move(g);
+    });
+    par::parallel_for(out.size(), 16384, [&](size_t b, size_t e) {
+        double* dst = out.data();
+        for (size_t c = 0; c < cp.num_chunks; ++c) {
+            const double* src = partial[c].data();
+            for (size_t i = b; i < e; ++i) dst[i] += src[i];
+        }
+    });
+}
 
 }  // namespace rdp

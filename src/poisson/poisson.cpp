@@ -5,15 +5,26 @@
 
 #include "fft/dct.hpp"
 #include "fft/fft.hpp"
+#include "util/parallel.hpp"
 
 namespace rdp {
 
-PoissonSolver::PoissonSolver(int width, int height)
-    : w_(width),
-      h_(height),
-      ws_x_(std::make_unique<DctWorkspace>(width)),
-      ws_y_(std::make_unique<DctWorkspace>(height)) {
+namespace {
+
+/// Chunk plans for the row/column batch loops. Grain 1: a row transform is
+/// O(n log n), plenty of work per chunk; the plan depends on the grid
+/// dimensions only, never on the thread count.
+par::ChunkPlan row_plan(int h) { return par::plan(static_cast<size_t>(h), 1); }
+par::ChunkPlan col_plan(int w) { return par::plan(static_cast<size_t>(w), 1); }
+
+}  // namespace
+
+PoissonSolver::PoissonSolver(int width, int height) : w_(width), h_(height) {
     assert(is_pow2(width) && is_pow2(height));
+    row_ws_.resize(row_plan(h_).num_chunks);
+    for (auto& ws : row_ws_) ws = std::make_unique<DctWorkspace>(w_);
+    col_ws_.resize(col_plan(w_).num_chunks);
+    for (auto& ws : col_ws_) ws = std::make_unique<DctWorkspace>(h_);
 }
 
 PoissonSolver::~PoissonSolver() = default;
@@ -35,19 +46,29 @@ void apply_1d(DctWorkspace& ws, Kind k, double* x) {
 }  // namespace
 
 // Rows are contiguous in the row-major grid; columns go through a scratch
-// buffer. Everything runs in place on `g`.
+// buffer. Everything runs in place on `g`. Row chunks use distinct
+// workspaces, so the batch is safe to run concurrently.
 void PoissonSolver::transform_rows_inplace(GridF& g, int kind) const {
-    for (int y = 0; y < h_; ++y)
-        apply_1d(*ws_x_, static_cast<Kind>(kind), &g.at(0, y));
+    par::run_chunks(row_plan(h_), [&](size_t b, size_t e, size_t c) {
+        DctWorkspace& ws = *row_ws_[c];
+        for (size_t y = b; y < e; ++y)
+            apply_1d(ws, static_cast<Kind>(kind), &g.at(0, static_cast<int>(y)));
+    });
 }
 
 void PoissonSolver::transform_cols_inplace(GridF& g, int kind) const {
-    std::vector<double> col(static_cast<size_t>(h_));
-    for (int x = 0; x < w_; ++x) {
-        for (int y = 0; y < h_; ++y) col[static_cast<size_t>(y)] = g.at(x, y);
-        apply_1d(*ws_y_, static_cast<Kind>(kind), col.data());
-        for (int y = 0; y < h_; ++y) g.at(x, y) = col[static_cast<size_t>(y)];
-    }
+    par::run_chunks(col_plan(w_), [&](size_t b, size_t e, size_t c) {
+        DctWorkspace& ws = *col_ws_[c];
+        std::vector<double> col(static_cast<size_t>(h_));
+        for (size_t x = b; x < e; ++x) {
+            const int xi = static_cast<int>(x);
+            for (int y = 0; y < h_; ++y)
+                col[static_cast<size_t>(y)] = g.at(xi, y);
+            apply_1d(ws, static_cast<Kind>(kind), col.data());
+            for (int y = 0; y < h_; ++y)
+                g.at(xi, y) = col[static_cast<size_t>(y)];
+        }
+    });
 }
 
 // Cosine-series coefficients a_uv of rho:
@@ -58,13 +79,33 @@ void PoissonSolver::cosine_coefficients(GridF& rho) const {
     transform_rows_inplace(rho, static_cast<int>(Kind::Dct2));
     transform_cols_inplace(rho, static_cast<int>(Kind::Dct2));
     const double inv_mn = 1.0 / (static_cast<double>(w_) * h_);
-    for (int v = 0; v < h_; ++v) {
-        const double pv = (v == 0) ? 1.0 : 2.0;
-        for (int u = 0; u < w_; ++u) {
-            const double pu = (u == 0) ? 1.0 : 2.0;
-            rho.at(u, v) *= pu * pv * inv_mn;
+    par::parallel_for(static_cast<size_t>(h_), 1, [&](size_t vb, size_t ve) {
+        for (size_t v = vb; v < ve; ++v) {
+            const double pv = (v == 0) ? 1.0 : 2.0;
+            for (int u = 0; u < w_; ++u) {
+                const double pu = (u == 0) ? 1.0 : 2.0;
+                rho.at(u, static_cast<int>(v)) *= pu * pv * inv_mn;
+            }
         }
-    }
+    });
+}
+
+// Deterministic mean subtraction (compatibility condition): the sum is a
+// chunked reduction in fixed chunk order.
+void PoissonSolver::subtract_mean(GridF& g) const {
+    const size_t n = g.size();
+    if (n == 0) return;
+    const double sum = par::parallel_sum(n, 16384, [&](size_t b, size_t e) {
+        const double* p = g.data();
+        double acc = 0.0;
+        for (size_t i = b; i < e; ++i) acc += p[i];
+        return acc;
+    });
+    const double mean = sum / static_cast<double>(n);
+    par::parallel_for(n, 16384, [&](size_t b, size_t e) {
+        double* p = g.data();
+        for (size_t i = b; i < e; ++i) p[i] -= mean;
+    });
 }
 
 PoissonSolution PoissonSolver::solve(const GridF& rho) const {
@@ -72,8 +113,7 @@ PoissonSolution PoissonSolver::solve(const GridF& rho) const {
 
     // Enforce the compatibility condition by removing the mean charge.
     GridF a = rho;
-    const double mean = grid_mean(a);
-    for (auto& v : a) v -= mean;
+    subtract_mean(a);
     cosine_coefficients(a);
 
     PoissonSolution sol;
@@ -83,17 +123,20 @@ PoissonSolution PoissonSolver::solve(const GridF& rho) const {
 
     // psi coefficients a_uv / (w_u^2 + w_v^2); the (0,0) mode is fixed to 0
     // (zero-mean potential). Field coefficients carry an extra w factor.
-    for (int v = 0; v < h_; ++v) {
-        const double wv = M_PI * v / h_;
-        for (int u = 0; u < w_; ++u) {
-            const double wu = M_PI * u / w_;
-            const double denom = wu * wu + wv * wv;
-            const double c = (denom > 0.0) ? a.at(u, v) / denom : 0.0;
-            sol.potential.at(u, v) = c;
-            sol.field_x.at(u, v) = c * wu;
-            sol.field_y.at(u, v) = c * wv;
+    par::parallel_for(static_cast<size_t>(h_), 1, [&](size_t vb, size_t ve) {
+        for (size_t vi = vb; vi < ve; ++vi) {
+            const int v = static_cast<int>(vi);
+            const double wv = M_PI * v / h_;
+            for (int u = 0; u < w_; ++u) {
+                const double wu = M_PI * u / w_;
+                const double denom = wu * wu + wv * wv;
+                const double c = (denom > 0.0) ? a.at(u, v) / denom : 0.0;
+                sol.potential.at(u, v) = c;
+                sol.field_x.at(u, v) = c * wu;
+                sol.field_y.at(u, v) = c * wv;
+            }
         }
-    }
+    });
 
     transform_rows_inplace(sol.potential, static_cast<int>(Kind::Dct3));
     transform_cols_inplace(sol.potential, static_cast<int>(Kind::Dct3));
@@ -109,17 +152,19 @@ PoissonSolution PoissonSolver::solve(const GridF& rho) const {
 GridF PoissonSolver::solve_potential(const GridF& rho) const {
     assert(rho.width() == w_ && rho.height() == h_);
     GridF a = rho;
-    const double mean = grid_mean(a);
-    for (auto& v : a) v -= mean;
+    subtract_mean(a);
     cosine_coefficients(a);
-    for (int v = 0; v < h_; ++v) {
-        const double wv = M_PI * v / h_;
-        for (int u = 0; u < w_; ++u) {
-            const double wu = M_PI * u / w_;
-            const double denom = wu * wu + wv * wv;
-            a.at(u, v) = (denom > 0.0) ? a.at(u, v) / denom : 0.0;
+    par::parallel_for(static_cast<size_t>(h_), 1, [&](size_t vb, size_t ve) {
+        for (size_t vi = vb; vi < ve; ++vi) {
+            const int v = static_cast<int>(vi);
+            const double wv = M_PI * v / h_;
+            for (int u = 0; u < w_; ++u) {
+                const double wu = M_PI * u / w_;
+                const double denom = wu * wu + wv * wv;
+                a.at(u, v) = (denom > 0.0) ? a.at(u, v) / denom : 0.0;
+            }
         }
-    }
+    });
     transform_rows_inplace(a, static_cast<int>(Kind::Dct3));
     transform_cols_inplace(a, static_cast<int>(Kind::Dct3));
     return a;

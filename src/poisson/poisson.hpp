@@ -34,6 +34,12 @@ class DctWorkspace;
 /// Reusable spectral Poisson solver for a fixed power-of-two grid size.
 /// Holds preallocated transform workspaces, so repeated solves in the
 /// placement loop are allocation-free apart from the result grids.
+///
+/// The 2D transforms run row/column batches in parallel (deterministic
+/// chunking, see util/parallel.hpp): each chunk of rows (columns) owns a
+/// private DctWorkspace from a pool sized to the chunk plan, which is a
+/// function of the grid dimensions only. Rows write disjoint memory, so no
+/// reduction is involved and results are thread-count invariant.
 class PoissonSolver {
 public:
     /// Width and height must be powers of two.
@@ -57,11 +63,15 @@ private:
     void transform_rows_inplace(GridF& g, int kind) const;
     void transform_cols_inplace(GridF& g, int kind) const;
     void cosine_coefficients(GridF& rho) const;
+    void subtract_mean(GridF& g) const;
 
     int w_;
     int h_;
-    std::unique_ptr<DctWorkspace> ws_x_;
-    std::unique_ptr<DctWorkspace> ws_y_;
+    /// One length-w workspace per row-plan chunk; chunk c of the row loop
+    /// uses row_ws_[c], so concurrent chunks never share scratch state.
+    std::vector<std::unique_ptr<DctWorkspace>> row_ws_;
+    /// One length-h workspace per column-plan chunk.
+    std::vector<std::unique_ptr<DctWorkspace>> col_ws_;
 };
 
 /// Apply a 1D transform to every row (x-direction) of `g`.

@@ -1,11 +1,13 @@
 #include "router/global_router.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <numeric>
 
 #include "router/net_decompose.hpp"
+#include "util/parallel.hpp"
 
 namespace rdp {
 
@@ -26,8 +28,14 @@ std::vector<LayerSpec> GlobalRouter::effective_layers() const {
 
 void GlobalRouter::build_capacity(const Design& d, GridF& cap_h,
                                   GridF& cap_v) const {
+    build_capacity_impl(d, effective_layers(), cap_h, cap_v);
+}
+
+void GlobalRouter::build_capacity_impl(const Design& d,
+                                       const std::vector<LayerSpec>& layers,
+                                       GridF& cap_h, GridF& cap_v) const {
     double base_h = 0.0, base_v = 0.0;
-    for (const LayerSpec& l : effective_layers())
+    for (const LayerSpec& l : layers)
         (l.dir == Orient::Horizontal ? base_h : base_v) += l.capacity;
 
     cap_h = grid_.make_grid();
@@ -37,46 +45,62 @@ void GlobalRouter::build_capacity(const Design& d, GridF& cap_h,
 
     // Pin blockage: pins eat tracks on the lowest horizontal layer, so
     // G-cells packed with cells lose horizontal capacity (local congestion).
-    for (int p = 0; p < d.num_pins(); ++p) {
-        const GridIndex g = grid_.index_of(d.pin_position(p));
-        cap_h.at(g.ix, g.iy) -= cfg_.pin_blockage;
-    }
+    // Deterministic parallel scatter (ordered per-chunk merge).
+    GridF pin_block = grid_.make_grid();
+    parallel_splat(grid_, pin_block, static_cast<size_t>(d.num_pins()), 2048,
+                   [&](GridF& g, size_t p) {
+                       const GridIndex gi =
+                           grid_.index_of(d.pin_position(static_cast<int>(p)));
+                       g.at(gi.ix, gi.iy) += cfg_.pin_blockage;
+                   });
     // Macro blockage: macros block all routing over them except the top
     // layer pair (a common modeling choice); scale capacity by uncovered
     // fraction plus a top-layer allowance.
     const double macro_pass = cfg_.layers.size() >= 4 ? 0.4 : 0.5;
     GridF macro_cover = grid_.make_grid();
-    for (const Cell& c : d.cells) {
-        if (!c.is_macro()) continue;
-        grid_.splat_area(macro_cover, c.bbox());
-    }
+    parallel_splat(grid_, macro_cover, d.cells.size(), 2048,
+                   [&](GridF& g, size_t i) {
+                       const Cell& c = d.cells[i];
+                       if (!c.is_macro()) return;
+                       grid_.splat_area(g, c.bbox());
+                   });
     // PG-rail blockage on the lowest horizontal layer.
     GridF rail_cover = grid_.make_grid();
-    for (const PGRail& r : d.pg_rails) grid_.splat_area(rail_cover, r.box);
+    parallel_splat(grid_, rail_cover, d.pg_rails.size(), 1024,
+                   [&](GridF& g, size_t i) {
+                       grid_.splat_area(g, d.pg_rails[i].box);
+                   });
     // Routing blockages (ISPD 2015 style) remove capacity on all layers.
     GridF blockage_cover = grid_.make_grid();
-    for (const Rect& b : d.routing_blockages)
-        grid_.splat_area(blockage_cover, b);
+    parallel_splat(grid_, blockage_cover, d.routing_blockages.size(), 1024,
+                   [&](GridF& g, size_t i) {
+                       grid_.splat_area(g, d.routing_blockages[i]);
+                   });
 
     const double bin_area = grid_.bin_area();
-    for (int y = 0; y < cap_h.height(); ++y) {
-        for (int x = 0; x < cap_h.width(); ++x) {
-            const double mc =
-                std::min(macro_cover.at(x, y) / bin_area, 1.0);
-            const double block = mc * (1.0 - macro_pass);
-            cap_h.at(x, y) *= (1.0 - block);
-            cap_v.at(x, y) *= (1.0 - block);
-            const double bc =
-                std::min(blockage_cover.at(x, y) / bin_area, 1.0);
-            cap_h.at(x, y) *= (1.0 - cfg_.routing_blockage_frac * bc);
-            cap_v.at(x, y) *= (1.0 - cfg_.routing_blockage_frac * bc);
-            const double rails =
-                std::min(rail_cover.at(x, y) / bin_area, 1.0);
-            cap_h.at(x, y) -= cfg_.pg_blockage_frac * base_h * rails;
-            cap_h.at(x, y) = std::max(cap_h.at(x, y), cfg_.min_capacity);
-            cap_v.at(x, y) = std::max(cap_v.at(x, y), cfg_.min_capacity);
-        }
-    }
+    par::parallel_for(
+        static_cast<size_t>(cap_h.height()), 1, [&](size_t yb, size_t ye) {
+            for (size_t yi = yb; yi < ye; ++yi) {
+                const int y = static_cast<int>(yi);
+                for (int x = 0; x < cap_h.width(); ++x) {
+                    cap_h.at(x, y) -= pin_block.at(x, y);
+                    const double mc =
+                        std::min(macro_cover.at(x, y) / bin_area, 1.0);
+                    const double block = mc * (1.0 - macro_pass);
+                    cap_h.at(x, y) *= (1.0 - block);
+                    cap_v.at(x, y) *= (1.0 - block);
+                    const double bc =
+                        std::min(blockage_cover.at(x, y) / bin_area, 1.0);
+                    cap_h.at(x, y) *= (1.0 - cfg_.routing_blockage_frac * bc);
+                    cap_v.at(x, y) *= (1.0 - cfg_.routing_blockage_frac * bc);
+                    const double rails =
+                        std::min(rail_cover.at(x, y) / bin_area, 1.0);
+                    cap_h.at(x, y) -= cfg_.pg_blockage_frac * base_h * rails;
+                    cap_h.at(x, y) = std::max(cap_h.at(x, y), cfg_.min_capacity);
+                    cap_v.at(x, y) = std::max(cap_v.at(x, y), cfg_.min_capacity);
+                }
+            }
+        });
 }
 
 namespace {
@@ -115,9 +139,14 @@ struct RouteState {
                                     hist_v.at(x, y));
     }
 
+    /// Elementwise, so the parallel version is trivially deterministic.
     void refresh_all_costs() {
-        for (int y = 0; y < cost_h.height(); ++y)
-            for (int x = 0; x < cost_h.width(); ++x) refresh_cost(x, y);
+        par::parallel_for(
+            static_cast<size_t>(cost_h.height()), 1, [&](size_t yb, size_t ye) {
+                for (size_t y = yb; y < ye; ++y)
+                    for (int x = 0; x < cost_h.width(); ++x)
+                        refresh_cost(x, static_cast<int>(y));
+            });
     }
 
     /// Add (sign=+1) or remove (sign=-1) a path's demand, updating costs.
@@ -157,39 +186,99 @@ struct RouteState {
         }
         return false;
     }
+
+    /// Would committing `p` leave any of its cells overflowed? Read-only
+    /// equivalent of commit(+1) / path_overflows / commit(-1): demand is
+    /// evaluated as-if-committed, counting how often the path itself covers
+    /// each cell (a cell crossed by two same-direction spans gains 2).
+    bool path_would_overflow(const RoutePath& p) const {
+        auto coverage = [&](bool horizontal, int x, int y) {
+            double add = 0.0;
+            for (const RouteSeg& s : p.segs) {
+                if (s.horizontal() != horizontal) continue;
+                if (horizontal) {
+                    if (s.y0 == y && x >= std::min(s.x0, s.x1) &&
+                        x <= std::max(s.x0, s.x1))
+                        add += 1.0;
+                } else {
+                    if (s.x0 == x && y >= std::min(s.y0, s.y1) &&
+                        y <= std::max(s.y0, s.y1))
+                        add += 1.0;
+                }
+            }
+            return add;
+        };
+        for (const RouteSeg& s : p.segs) {
+            if (s.horizontal()) {
+                const int lo = std::min(s.x0, s.x1), hi = std::max(s.x0, s.x1);
+                for (int x = lo; x <= hi; ++x)
+                    if (dem_h.at(x, s.y0) + coverage(true, x, s.y0) >
+                        cap_h.at(x, s.y0))
+                        return true;
+            } else {
+                const int lo = std::min(s.y0, s.y1), hi = std::max(s.y0, s.y1);
+                for (int y = lo; y <= hi; ++y)
+                    if (dem_v.at(s.x0, y) + coverage(false, s.x0, y) >
+                        cap_v.at(s.x0, y))
+                        return true;
+            }
+        }
+        return false;
+    }
 };
 
 }  // namespace
 
 RouteResult GlobalRouter::route(const Design& d) const {
+    // Resolve the layer stack once per invocation; both capacity building
+    // and the final layer assignment consume the same copy.
+    const std::vector<LayerSpec> layers = effective_layers();
+
     RouteState st(cfg_, grid_);
-    build_capacity(d, st.cap_h, st.cap_v);
+    build_capacity_impl(d, layers, st.cap_h, st.cap_v);
     st.refresh_all_costs();
 
     // Pin vias: every pin climbs from the pin layer into the stack.
-    for (int p = 0; p < d.num_pins(); ++p) {
-        const GridIndex g = grid_.index_of(d.pin_position(p));
-        st.pin_vias.at(g.ix, g.iy) += 1.0;
-    }
+    parallel_splat(grid_, st.pin_vias, static_cast<size_t>(d.num_pins()), 2048,
+                   [&](GridF& g, size_t p) {
+                       const GridIndex gi =
+                           grid_.index_of(d.pin_position(static_cast<int>(p)));
+                       g.at(gi.ix, gi.iy) += 1.0;
+                   });
 
-    // Two-pin connections from MST decomposition of every net.
+    // Two-pin connections from MST decomposition of every net. Chunked over
+    // nets with per-chunk output lists concatenated in chunk order, which
+    // reproduces the serial connection order exactly.
     struct Conn {
         GridIndex a, b;
         double len;
     };
     std::vector<Conn> conns;
-    for (const Net& net : d.nets) {
-        if (net.degree() < 2) continue;
-        std::vector<Vec2> pts;
-        pts.reserve(net.pins.size());
-        for (int p : net.pins) pts.push_back(d.pin_position(p));
-        for (const auto& [i, j] : manhattan_mst(pts)) {
-            const GridIndex a = grid_.index_of(pts[static_cast<size_t>(i)]);
-            const GridIndex b = grid_.index_of(pts[static_cast<size_t>(j)]);
-            const double len = std::abs(pts[i].x - pts[j].x) +
-                               std::abs(pts[i].y - pts[j].y);
-            conns.push_back({a, b, len});
-        }
+    {
+        const par::ChunkPlan cp = par::plan(d.nets.size(), 128, 64);
+        std::vector<std::vector<Conn>> chunk_conns(cp.num_chunks);
+        par::run_chunks(cp, [&](size_t nb, size_t ne, size_t c) {
+            std::vector<Conn>& out = chunk_conns[c];
+            std::vector<Vec2> pts;
+            for (size_t ni = nb; ni < ne; ++ni) {
+                const Net& net = d.nets[ni];
+                if (net.degree() < 2) continue;
+                pts.clear();
+                pts.reserve(net.pins.size());
+                for (int p : net.pins) pts.push_back(d.pin_position(p));
+                for (const auto& [i, j] : manhattan_mst(pts)) {
+                    const GridIndex a =
+                        grid_.index_of(pts[static_cast<size_t>(i)]);
+                    const GridIndex b =
+                        grid_.index_of(pts[static_cast<size_t>(j)]);
+                    const double len = std::abs(pts[i].x - pts[j].x) +
+                                       std::abs(pts[i].y - pts[j].y);
+                    out.push_back({a, b, len});
+                }
+            }
+        });
+        for (const auto& cc : chunk_conns)
+            conns.insert(conns.end(), cc.begin(), cc.end());
     }
     // Route short connections first (they have the fewest alternatives).
     std::vector<int> order(conns.size());
@@ -201,12 +290,64 @@ RouteResult GlobalRouter::route(const Design& d) const {
 
     RouteCostModel model{&st.cost_h, &st.cost_v, 1.0};
     std::vector<RoutePath> paths(conns.size());
-    for (int idx : order) {
-        const Conn& c = conns[static_cast<size_t>(idx)];
-        paths[static_cast<size_t>(idx)] =
-            pattern_route(c.a.ix, c.a.iy, c.b.ix, c.b.iy, model,
-                          cfg_.max_bend_candidates);
-        st.commit(paths[static_cast<size_t>(idx)], +1.0);
+
+    // Initial pass: spatially-partitioned waves routed against a frozen
+    // cost snapshot, committed in fixed order (the batched scheme of the
+    // GPU routers the paper builds on). A wave takes connections — in
+    // routing order — whose bounding boxes occupy disjoint tiles of a
+    // kTiles x kTiles partition. Pattern candidates never leave the
+    // endpoint bbox, so wave members cannot share a G-cell: routing them
+    // against the frozen snapshot commits the same paths serial routing
+    // would, and the wave construction depends on the input only, never
+    // on the thread count.
+    {
+        constexpr int kTiles = 16;
+        const int tile_w = (grid_.nx() + kTiles - 1) / kTiles;
+        const int tile_h = (grid_.ny() + kTiles - 1) / kTiles;
+        auto tile_rect = [&](const Conn& c) {
+            const int tx0 = std::min(c.a.ix, c.b.ix) / tile_w;
+            const int tx1 = std::max(c.a.ix, c.b.ix) / tile_w;
+            const int ty0 = std::min(c.a.iy, c.b.iy) / tile_h;
+            const int ty1 = std::max(c.a.iy, c.b.iy) / tile_h;
+            return std::array<int, 4>{tx0, ty0, tx1, ty1};
+        };
+        std::vector<int> pending = order;
+        std::vector<int> wave, deferred;
+        std::array<bool, kTiles * kTiles> occupied{};
+        while (!pending.empty()) {
+            wave.clear();
+            deferred.clear();
+            occupied.fill(false);
+            for (int idx : pending) {
+                const auto [tx0, ty0, tx1, ty1] =
+                    tile_rect(conns[static_cast<size_t>(idx)]);
+                bool free = true;
+                for (int ty = ty0; ty <= ty1 && free; ++ty)
+                    for (int tx = tx0; tx <= tx1 && free; ++tx)
+                        free = !occupied[static_cast<size_t>(ty * kTiles + tx)];
+                if (!free) {
+                    deferred.push_back(idx);
+                    continue;
+                }
+                for (int ty = ty0; ty <= ty1; ++ty)
+                    for (int tx = tx0; tx <= tx1; ++tx)
+                        occupied[static_cast<size_t>(ty * kTiles + tx)] = true;
+                wave.push_back(idx);
+            }
+            // Route the wave against the frozen cost snapshot.
+            par::parallel_for(wave.size(), 4, [&](size_t b, size_t e) {
+                for (size_t i = b; i < e; ++i) {
+                    const int idx = wave[i];
+                    const Conn& c = conns[static_cast<size_t>(idx)];
+                    paths[static_cast<size_t>(idx)] =
+                        pattern_route(c.a.ix, c.a.iy, c.b.ix, c.b.iy, model,
+                                      cfg_.max_bend_candidates);
+                }
+            });
+            // Commit in fixed (routing) order; costs update for the next wave.
+            for (int idx : wave) st.commit(paths[static_cast<size_t>(idx)], +1.0);
+            pending.swap(deferred);
+        }
     }
 
     // Negotiation-style rip-up-and-reroute. Negotiation does not decrease
@@ -214,18 +355,23 @@ RouteResult GlobalRouter::route(const Design& d) const {
     // Overflow of the combined 2D map (wire + via demand vs summed
     // capacity) — the same metric CongestionMap::total_overflow reports.
     auto total_overflow_now = [&] {
-        double acc = 0.0;
-        for (int y = 0; y < st.dem_h.height(); ++y) {
-            for (int x = 0; x < st.dem_h.width(); ++x) {
-                const double dmd =
-                    st.dem_h.at(x, y) + st.dem_v.at(x, y) +
-                    cfg_.via_demand_weight *
-                        (st.bend_vias.at(x, y) + st.pin_vias.at(x, y));
-                const double cap = st.cap_h.at(x, y) + st.cap_v.at(x, y);
-                acc += std::max(dmd - cap, 0.0);
-            }
-        }
-        return acc;
+        return par::parallel_sum(
+            static_cast<size_t>(st.dem_h.height()), 1,
+            [&](size_t yb, size_t ye) {
+                double acc = 0.0;
+                for (size_t yi = yb; yi < ye; ++yi) {
+                    const int y = static_cast<int>(yi);
+                    for (int x = 0; x < st.dem_h.width(); ++x) {
+                        const double dmd =
+                            st.dem_h.at(x, y) + st.dem_v.at(x, y) +
+                            cfg_.via_demand_weight *
+                                (st.bend_vias.at(x, y) + st.pin_vias.at(x, y));
+                        const double cap = st.cap_h.at(x, y) + st.cap_v.at(x, y);
+                        acc += std::max(dmd - cap, 0.0);
+                    }
+                }
+                return acc;
+            });
     };
     double best_overflow = total_overflow_now();
     std::vector<RoutePath> best_paths = paths;
@@ -233,24 +379,32 @@ RouteResult GlobalRouter::route(const Design& d) const {
           best_bends = st.bend_vias;
 
     for (int round = 0; round < cfg_.rrr_rounds; ++round) {
-        // Grow history costs where utilization exceeds capacity.
-        bool any_overflow = false;
-        for (int y = 0; y < st.dem_h.height(); ++y) {
-            for (int x = 0; x < st.dem_h.width(); ++x) {
-                const double oh =
-                    st.dem_h.at(x, y) / st.cap_h.at(x, y) - 1.0;
-                const double ov =
-                    st.dem_v.at(x, y) / st.cap_v.at(x, y) - 1.0;
-                if (oh > 0.0) {
-                    st.hist_h.at(x, y) += cfg_.history_increment * oh;
-                    any_overflow = true;
+        // Grow history costs where utilization exceeds capacity. Elementwise
+        // over rows; the any-overflow flag ORs chunk partials in order.
+        const bool any_overflow = par::parallel_reduce(
+            static_cast<size_t>(st.dem_h.height()), 1, false,
+            [&](size_t yb, size_t ye) {
+                bool any = false;
+                for (size_t yi = yb; yi < ye; ++yi) {
+                    const int y = static_cast<int>(yi);
+                    for (int x = 0; x < st.dem_h.width(); ++x) {
+                        const double oh =
+                            st.dem_h.at(x, y) / st.cap_h.at(x, y) - 1.0;
+                        const double ov =
+                            st.dem_v.at(x, y) / st.cap_v.at(x, y) - 1.0;
+                        if (oh > 0.0) {
+                            st.hist_h.at(x, y) += cfg_.history_increment * oh;
+                            any = true;
+                        }
+                        if (ov > 0.0) {
+                            st.hist_v.at(x, y) += cfg_.history_increment * ov;
+                            any = true;
+                        }
+                    }
                 }
-                if (ov > 0.0) {
-                    st.hist_v.at(x, y) += cfg_.history_increment * ov;
-                    any_overflow = true;
-                }
-            }
-        }
+                return any;
+            },
+            [](bool a, bool b) { return a || b; });
         if (!any_overflow) break;
         st.refresh_all_costs();
 
@@ -263,17 +417,12 @@ RouteResult GlobalRouter::route(const Design& d) const {
                               cfg_.max_bend_candidates);
             // Escalate to a maze search when L/Z patterns cannot escape
             // the overflow (maze cost <= pattern cost by construction).
-            if (cfg_.maze_fallback) {
-                st.commit(p, +1.0);
-                const bool still_bad = st.path_overflows(p);
-                st.commit(p, -1.0);
-                if (still_bad) {
-                    RoutePath mz = maze_route(c.a.ix, c.a.iy, c.b.ix,
-                                              c.b.iy, model, cfg_.maze);
-                    if (!mz.segs.empty() &&
-                        path_cost(mz, model) < path_cost(p, model))
-                        p = std::move(mz);
-                }
+            if (cfg_.maze_fallback && st.path_would_overflow(p)) {
+                RoutePath mz = maze_route(c.a.ix, c.a.iy, c.b.ix,
+                                          c.b.iy, model, cfg_.maze);
+                if (!mz.segs.empty() &&
+                    path_cost(mz, model) < path_cost(p, model))
+                    p = std::move(mz);
             }
             st.commit(p, +1.0);
         }
@@ -299,7 +448,7 @@ RouteResult GlobalRouter::route(const Design& d) const {
     res.demand_v = st.dem_v;
     res.bend_vias = st.bend_vias;
     res.pin_vias = st.pin_vias;
-    res.layers = assign_layers(effective_layers(), st.dem_h, st.dem_v,
+    res.layers = assign_layers(layers, st.dem_h, st.dem_v,
                                st.bend_vias, st.pin_vias);
     res.num_vias = res.layers.total_vias;
 

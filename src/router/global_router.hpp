@@ -96,6 +96,12 @@ public:
     std::vector<LayerSpec> effective_layers() const;
 
 private:
+    /// Capacity construction against an already-resolved layer stack, so
+    /// route() resolves effective_layers() exactly once per invocation.
+    void build_capacity_impl(const Design& d,
+                             const std::vector<LayerSpec>& layers,
+                             GridF& cap_h, GridF& cap_v) const;
+
     BinGrid grid_;
     RouterConfig cfg_;
 };

@@ -4,10 +4,13 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/parallel.hpp"
+
 namespace rdp {
 
 double WAWirelength::wa_1d(const std::vector<double>& xs,
-                           std::vector<double>& grad) const {
+                           std::vector<double>& grad,
+                           WaScratch& scratch) const {
     const size_t n = xs.size();
     grad.assign(n, 0.0);
     if (n < 2) return 0.0;
@@ -19,7 +22,12 @@ double WAWirelength::wa_1d(const std::vector<double>& xs,
     // Max side: weights e^{(x_i - xmax)/g} are in (0, 1].
     double sp = 0.0, ap = 0.0;  // sum of weights, weighted coordinate sum
     double sm = 0.0, am = 0.0;  // min side with weights e^{(xmin - x_i)/g}
-    std::vector<double> wp(n), wm(n);
+    std::vector<double>& wp = scratch.wp;
+    std::vector<double>& wm = scratch.wm;
+    if (wp.size() < n) {
+        wp.resize(n);
+        wm.resize(n);
+    }
     for (size_t i = 0; i < n; ++i) {
         wp[i] = std::exp((xs[i] - xmax) / g);
         wm[i] = std::exp((xmin - xs[i]) / g);
@@ -44,6 +52,7 @@ double WAWirelength::wa_1d(const std::vector<double>& xs,
 double WAWirelength::net_wa(const Design& d, const Net& net) const {
     if (net.degree() < 2) return 0.0;
     std::vector<double> xs, ys, tmp;
+    WaScratch scratch;
     xs.reserve(net.pins.size());
     ys.reserve(net.pins.size());
     for (int p : net.pins) {
@@ -51,32 +60,57 @@ double WAWirelength::net_wa(const Design& d, const Net& net) const {
         xs.push_back(pos.x);
         ys.push_back(pos.y);
     }
-    return wa_1d(xs, tmp) + wa_1d(ys, tmp);
+    return wa_1d(xs, tmp, scratch) + wa_1d(ys, tmp, scratch);
 }
 
 WirelengthResult WAWirelength::evaluate(const Design& d) const {
     WirelengthResult res;
-    res.cell_grad.assign(static_cast<size_t>(d.num_cells()), Vec2{});
+    const size_t num_cells = static_cast<size_t>(d.num_cells());
+    res.cell_grad.assign(num_cells, Vec2{});
 
-    std::vector<double> xs, ys, gx, gy;
-    for (const Net& net : d.nets) {
-        if (net.degree() < 2) continue;
-        xs.clear();
-        ys.clear();
-        for (int p : net.pins) {
-            const Vec2 pos = d.pin_position(p);
-            xs.push_back(pos.x);
-            ys.push_back(pos.y);
+    // Parallel over nets. Each chunk owns a full-size gradient accumulator
+    // (bounded by max_chunks = 16) plus a scalar total; partials are merged
+    // in fixed chunk order below, so any thread count gives the same bits.
+    const par::ChunkPlan cp = par::plan(d.nets.size(), 256, 16);
+    std::vector<double> totals(cp.num_chunks, 0.0);
+    std::vector<std::vector<Vec2>> partial(cp.num_chunks);
+    par::run_chunks(cp, [&](size_t nb, size_t ne, size_t c) {
+        std::vector<Vec2>& grad = partial[c];
+        grad.assign(num_cells, Vec2{});
+        std::vector<double> xs, ys, gx, gy;
+        WaScratch scratch;
+        double total = 0.0;
+        for (size_t ni = nb; ni < ne; ++ni) {
+            const Net& net = d.nets[ni];
+            if (net.degree() < 2) continue;
+            xs.clear();
+            ys.clear();
+            for (int p : net.pins) {
+                const Vec2 pos = d.pin_position(p);
+                xs.push_back(pos.x);
+                ys.push_back(pos.y);
+            }
+            const double wx = wa_1d(xs, gx, scratch);
+            const double wy = wa_1d(ys, gy, scratch);
+            total += net.weight * (wx + wy);
+            for (size_t i = 0; i < net.pins.size(); ++i) {
+                const int cell = d.pins[net.pins[i]].cell;
+                grad[static_cast<size_t>(cell)] +=
+                    Vec2{gx[i], gy[i]} * net.weight;
+            }
         }
-        const double wx = wa_1d(xs, gx);
-        const double wy = wa_1d(ys, gy);
-        res.total += net.weight * (wx + wy);
-        for (size_t i = 0; i < net.pins.size(); ++i) {
-            const int cell = d.pins[net.pins[i]].cell;
-            res.cell_grad[static_cast<size_t>(cell)] +=
-                Vec2{gx[i], gy[i]} * net.weight;
+        totals[c] = total;
+    });
+
+    for (size_t c = 0; c < cp.num_chunks; ++c) res.total += totals[c];
+    // Ordered merge of the per-chunk gradients, parallel over cells.
+    par::parallel_for(num_cells, 4096, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+            Vec2 acc{};
+            for (size_t c = 0; c < cp.num_chunks; ++c) acc += partial[c][i];
+            res.cell_grad[i] = acc;
         }
-    }
+    });
     return res;
 }
 

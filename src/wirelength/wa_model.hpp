@@ -8,6 +8,11 @@
 // As gamma -> 0 the model converges to HPWL from below. The implementation
 // shifts exponents by the pin max/min, so it is stable for any gamma and
 // coordinate magnitude.
+//
+// evaluate() is parallel over nets with deterministic chunking (see
+// util/parallel.hpp): each chunk accumulates into a private gradient vector
+// and a private total; chunk partials are merged in fixed chunk order, so
+// the result is bitwise identical for any RDP_THREADS value.
 
 #include <vector>
 
@@ -19,6 +24,14 @@ namespace rdp {
 struct WirelengthResult {
     double total = 0.0;           ///< weighted WA wirelength over all nets
     std::vector<Vec2> cell_grad;  ///< d(total)/d(cell center), all cells
+};
+
+/// Reusable per-call scratch for wa_1d: the exponential weight buffers.
+/// Callers (and each parallel chunk) keep one instance so the inner loop is
+/// allocation-free after warm-up.
+struct WaScratch {
+    std::vector<double> wp;  ///< max-side weights e^{(x_i - xmax)/g}
+    std::vector<double> wm;  ///< min-side weights e^{(xmin - x_i)/g}
 };
 
 class WAWirelength {
@@ -38,11 +51,13 @@ public:
     /// ignores them.
     WirelengthResult evaluate(const Design& d) const;
 
-private:
     /// One-dimensional WA and d(WA)/d(coordinate) for a pin coordinate list.
-    /// Appends per-pin derivative into `grad` (same length as xs).
-    double wa_1d(const std::vector<double>& xs, std::vector<double>& grad) const;
+    /// Overwrites `grad` (same length as xs); `scratch` provides the weight
+    /// buffers and is resized as needed.
+    double wa_1d(const std::vector<double>& xs, std::vector<double>& grad,
+                 WaScratch& scratch) const;
 
+private:
     double gamma_;
 };
 
