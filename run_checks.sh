@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Local CI entrypoint: one command that runs every correctness gate this
+# repo defines (see DESIGN.md, "Correctness tooling").
+#
+#   1. format check      clang-format --dry-run over src/ and tests/
+#   2. default build     RDP_WERROR=ON + full ctest suite
+#   3. clang-tidy        over src/ via the exported compile_commands.json
+#   4. sanitizer matrix  address, undefined, address;undefined -> ctest -L sanitize
+#                        thread                                -> ctest -L parallel
+#
+# Any failing step fails the script (non-zero exit). Tools missing from the
+# host (clang-format / clang-tidy) skip their step with a notice so the
+# script stays usable on gcc-only machines; the sanitizer and test gates
+# always run.
+#
+# Usage: ./run_checks.sh [--fast]
+#   --fast   skip the sanitizer matrix (format + build + tests + tidy only)
+
+set -u
+
+cd "$(dirname "$0")"
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+JOBS=$(nproc 2>/dev/null || echo 2)
+FAILURES=()
+
+note() { printf '\n==== %s ====\n' "$*"; }
+record_failure() { FAILURES+=("$1"); printf '!!!! FAILED: %s\n' "$1"; }
+
+# ---- 1. format check (skip when clang-format is unavailable) --------------
+note "format check"
+if command -v clang-format >/dev/null 2>&1; then
+    mapfile -t SOURCES < <(find src tests -name '*.cpp' -o -name '*.hpp' | sort)
+    if ! clang-format --dry-run -Werror "${SOURCES[@]}"; then
+        record_failure "clang-format"
+    fi
+else
+    echo "clang-format not found: skipping the format gate"
+fi
+
+# ---- 2. default build (warnings as errors) + full test suite --------------
+note "default build (RDP_WERROR=ON) + ctest"
+if cmake -B build-checks -S . -DRDP_WERROR=ON >/dev/null &&
+   cmake --build build-checks -j "$JOBS"; then
+    if ! ctest --test-dir build-checks --output-on-failure -j "$JOBS"; then
+        record_failure "default ctest"
+    fi
+else
+    record_failure "default build"
+fi
+
+# ---- 3. clang-tidy over src/ (skip when unavailable) ----------------------
+note "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+    if [[ -f build-checks/compile_commands.json ]]; then
+        mapfile -t TIDY_SOURCES < <(find src -name '*.cpp' | sort)
+        if ! clang-tidy -p build-checks --quiet "${TIDY_SOURCES[@]}"; then
+            record_failure "clang-tidy"
+        fi
+    else
+        record_failure "clang-tidy (no compile_commands.json)"
+    fi
+else
+    echo "clang-tidy not found: skipping the static-analysis gate"
+fi
+
+# ---- 4. sanitizer matrix --------------------------------------------------
+if [[ "$FAST" == 0 ]]; then
+    sanitize_config() {
+        local preset="$1" label="$2"
+        local dir="build-san-${preset//;/-}"
+        note "sanitizer: $preset (ctest -L $label)"
+        if cmake -B "$dir" -S . -DRDP_SANITIZE="$preset" >/dev/null &&
+           cmake --build "$dir" -j "$JOBS"; then
+            if ! ctest --test-dir "$dir" -L "$label" --output-on-failure \
+                       -j "$JOBS"; then
+                record_failure "sanitizer $preset"
+            fi
+        else
+            record_failure "sanitizer $preset build"
+        fi
+    }
+    sanitize_config "address" "sanitize"
+    sanitize_config "undefined" "sanitize"
+    sanitize_config "address;undefined" "sanitize"
+    sanitize_config "thread" "parallel"
+else
+    note "sanitizer matrix skipped (--fast)"
+fi
+
+# ---- summary --------------------------------------------------------------
+note "summary"
+if ((${#FAILURES[@]})); then
+    printf 'FAILED gates (%d):\n' "${#FAILURES[@]}"
+    printf '  - %s\n' "${FAILURES[@]}"
+    exit 1
+fi
+echo "all gates passed"

@@ -1,0 +1,84 @@
+#pragma once
+// Stage-boundary invariant audits: mechanical checks of the conservation
+// laws and contracts the paper's physics depends on, run at the boundaries
+// of the placement/routing pipeline (see DESIGN.md "Correctness tooling").
+//
+// Registered auditors and their invariants:
+//   finite-gradients   WA / density / net-moving gradient vectors contain
+//                      no NaN or infinity (checked every objective
+//                      evaluation inside the Nesterov loops).
+//   density-mass       the density grid's total charge equals the sum of
+//                      every cell's clipped (inflated) footprint area plus
+//                      the extra (DPA) charge, within relative tolerance —
+//                      the FFTPL-style density equalization conserves mass.
+//   router-accounting  per-direction edge demand equals the sum over all
+//                      committed route segments, bend vias equal the sum of
+//                      path bends, and negotiation history costs are
+//                      non-negative (checked after the initial routing pass
+//                      and after every rip-up-and-reroute round).
+//   inflation-budget   after budgeting, inflated-area bookkeeping balances:
+//                      every ratio is finite and positive, real-cell area
+//                      growth stays within the filler-area budget net of
+//                      the PG density charge, and filler shrink ratios are
+//                      uniform and inside (0, 1].
+//   legalized          every movable cell is row- and site-aligned, inside
+//                      the region, and overlap-free against movables and
+//                      fixed cells/macros.
+//
+// Auditors observe state and throw AuditFailure (util/check.hpp) naming
+// the active stage on violation; they never mutate placement or routing
+// results. All of them are no-ops unless audit_enabled().
+
+#include <string_view>
+#include <vector>
+
+#include "db/design.hpp"
+#include "grid/bin_grid.hpp"
+#include "router/pattern_route.hpp"
+#include "util/check.hpp"
+#include "util/grid2d.hpp"
+
+namespace rdp::audit {
+
+struct AuditorInfo {
+    const char* name;
+    const char* description;
+};
+
+/// Names and one-line descriptions of every registered auditor.
+const std::vector<AuditorInfo>& registered_auditors();
+
+/// How many times the named auditor has run (and passed) in this process.
+/// Unknown names return -1.
+long long runs(std::string_view name);
+/// Zero all run counters (tests).
+void reset_runs();
+
+/// `what` names the gradient term ("wirelength", "density", "net-moving").
+void check_gradients_finite(const char* what, const std::vector<Vec2>& grad);
+
+/// `density` is the full charge grid; `expected_area` the independently
+/// accumulated total charge (clipped cell footprints + extra density).
+void check_density_mass(const GridF& density, double expected_area,
+                        double rel_tol = 1e-6);
+
+/// Recomputes per-direction demand and bend vias from `paths` exactly as
+/// RouteState::commit accumulates them and requires bitwise-equal grids;
+/// also requires hist_h/hist_v >= 0 everywhere.
+void check_router_accounting(const GridF& dem_h, const GridF& dem_v,
+                             const GridF& bend_vias,
+                             const std::vector<RoutePath>& paths,
+                             const GridF& hist_h, const GridF& hist_v);
+
+/// Audit the post-budget inflation ratios (see budget_inflation):
+/// cells [0, first_filler) are real, the rest fillers. `extra_area` is the
+/// PG density charge taken off the top of the budget.
+void check_inflation_budget(const Design& d, int first_filler,
+                            const std::vector<double>& ratios,
+                            double usable_filler_frac, double extra_area);
+
+/// Row/site alignment, region containment, and overlap-freedom of all
+/// movable cells.
+void check_legalized(const Design& d, double eps = 1e-6);
+
+}  // namespace rdp::audit

@@ -1,6 +1,7 @@
 #include "db/netlist_io.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -26,6 +27,8 @@ CellKind parse_kind(const std::string& s, int line) {
 }  // namespace
 
 void write_design(const Design& d, std::ostream& os) {
+    // Round-trip exactness: every double survives write -> read bitwise.
+    os.precision(std::numeric_limits<double>::max_digits10);
     os << "design " << d.name << "\n";
     os << "region " << d.region.lx << " " << d.region.ly << " " << d.region.hx
        << " " << d.region.hy << "\n";

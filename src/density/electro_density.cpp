@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "audit/invariant_audit.hpp"
 #include "util/parallel.hpp"
 
 namespace rdp {
@@ -75,6 +76,27 @@ DensityResult ElectroDensity::evaluate(const Design& d,
         grid_add(rho, *extra_density);
     }
     res.density = rho;
+
+    // Invariant audit: the scatter must conserve charge — grid mass equals
+    // the independently accumulated clipped footprint areas (per-cell
+    // rectangle intersections, a separate arithmetic path from the per-bin
+    // overlap loop in splat_area) plus the extra (DPA) charge.
+    if (audit_enabled()) {
+        double expected = 0.0;
+        for (size_t i = 0; i < num_cells; ++i) {
+            const Cell& c = d.cells[i];
+            if (c.movable()) {
+                const double r =
+                    inflation != nullptr ? (*inflation)[i] : 1.0;
+                const EffBox eb = effective_box(c, r, grid_);
+                expected += eb.box.overlap_area(grid_.region()) * eb.scale;
+            } else {
+                expected += c.bbox().overlap_area(grid_.region());
+            }
+        }
+        if (extra_density != nullptr) expected += grid_sum(*extra_density);
+        audit::check_density_mass(rho, expected);
+    }
 
     // Poisson solve on area-per-bin-area density (dimensionless).
     GridF rho_norm = rho;

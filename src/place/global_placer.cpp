@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "audit/invariant_audit.hpp"
 #include "fft/fft.hpp"
 #include "legal/abacus.hpp"
 #include "legal/pin_access_refine.hpp"
@@ -91,6 +92,7 @@ PlaceResult GlobalPlacer::place(const Design& input) const {
 
     // ---- Stage 1: wirelength-driven GP ------------------------------------
     {
+        const AuditStageScope audit_scope("wirelength-gp");
         std::vector<Vec2> pos(movable.size());
         for (size_t i = 0; i < movable.size(); ++i)
             pos[i] = d.cells[static_cast<size_t>(movable[i])].pos;
@@ -156,12 +158,22 @@ PlaceResult GlobalPlacer::place(const Design& input) const {
     for (int i = 0; i < d.num_cells(); ++i)
         desired[static_cast<size_t>(i)] = d.cells[static_cast<size_t>(i)].pos;
 
-    res.legal_stats = tetris_legalize(d, cfg_.tetris);
-    abacus_refine(d, desired);
-    res.dp_stats = detailed_place(d, cfg_.dp);
-    if (cfg_.enable_pin_access_dp) {
-        const std::vector<PGRail> rails = select_pg_rails(d, cfg_.rail_select);
-        pin_access_refine(d, rails);
+    {
+        const AuditStageScope audit_scope("legalize");
+        res.legal_stats = tetris_legalize(d, cfg_.tetris);
+        abacus_refine(d, desired);
+        res.dp_stats = detailed_place(d, cfg_.dp);
+        if (cfg_.enable_pin_access_dp) {
+            const std::vector<PGRail> rails =
+                select_pg_rails(d, cfg_.rail_select);
+            pin_access_refine(d, rails);
+        }
+        // Invariant audit: the legalization pipeline must leave every cell
+        // row/site-aligned and overlap-free. Skipped when Tetris reported
+        // unplaceable cells (pathological utilization) — the failure is
+        // already visible in legal_stats.
+        if (audit_enabled() && res.legal_stats.cells_failed == 0)
+            audit::check_legalized(d);
     }
     res.hpwl_final = total_hpwl(d);
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/check.hpp"
+
 namespace rdp {
 
 NesterovSolver::NesterovSolver(std::vector<Vec2> initial, NesterovConfig cfg)
@@ -10,6 +12,9 @@ NesterovSolver::NesterovSolver(std::vector<Vec2> initial, NesterovConfig cfg)
 
 void NesterovSolver::step(const std::vector<Vec2>& grad,
                           const std::function<Vec2(size_t, Vec2)>& project) {
+    RDP_ASSERT(grad.size() == v_.size(),
+               "gradient has " << grad.size() << " entries for " << v_.size()
+                               << " solver points");
     assert(grad.size() == v_.size());
     const size_t n = v_.size();
 
@@ -28,6 +33,7 @@ void NesterovSolver::step(const std::vector<Vec2>& grad,
             alpha = std::min(alpha, cfg_.max_step_growth * last_alpha_);
     }
     alpha = std::clamp(alpha, cfg_.min_step, cfg_.max_step);
+    RDP_CHECK_FINITE(alpha, "Barzilai-Borwein steplength");
     last_alpha_ = alpha;
 
     // Adaptive restart (O'Donoghue & Candes): when the gradient points

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "audit/invariant_audit.hpp"
 #include "congestion/lambda_schedule.hpp"
 
 namespace rdp {
@@ -16,6 +17,11 @@ ObjectiveTerms PlacementObjective::evaluate(Design& d,
                                             const std::vector<Vec2>& pos,
                                             std::vector<Vec2>& grad_out) const {
     assert(movable.size() == pos.size());
+    // Input positions are audited before they touch the design: a NaN
+    // coordinate would otherwise flow into the density splat (and cast to an
+    // int bin index) before the gradient checks below could see it.
+    if (audit_enabled())
+        audit::check_gradients_finite("input position", pos);
     for (size_t i = 0; i < movable.size(); ++i)
         d.cells[static_cast<size_t>(movable[i])].pos = pos[i];
 
@@ -58,6 +64,19 @@ ObjectiveTerms PlacementObjective::evaluate(Design& d,
             compute_lambda2(terms.num_congested_cells, d.num_cells(),
                             gradient_l1(wl.cell_grad),
                             gradient_l1(cong_grad));
+    }
+
+    // Invariant audit: every gradient term the Nesterov step consumes must
+    // be finite and NaN-free (a single NaN coordinate silently corrupts the
+    // whole trajectory through the BB steplength estimate).
+    if (audit_enabled()) {
+        audit::check_gradients_finite("wirelength gradient", wl.cell_grad);
+        audit::check_gradients_finite("density gradient", den.cell_grad);
+        if (dc)
+            audit::check_gradients_finite(dc_model_ == DcModel::NetMoving
+                                              ? "net-moving gradient"
+                                              : "bounding-box gradient",
+                                          cong_grad);
     }
 
     grad_out.assign(movable.size(), Vec2{});

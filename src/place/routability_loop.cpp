@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "audit/invariant_audit.hpp"
 #include "congestion/rudy.hpp"
 #include "pinaccess/dynamic_density.hpp"
 #include "util/log.hpp"
@@ -62,6 +63,7 @@ RoutabilityStats run_routability_stage(
     Design& d, const std::vector<int>& movable, PlacementObjective& obj,
     const PlacerConfig& cfg, const std::vector<PGRail>& selected_rails,
     int first_filler) {
+    const AuditStageScope audit_scope("routability-gp");
     RoutabilityStats stats;
     const BinGrid& grid = obj.grid();
     GlobalRouter router(grid, cfg.router);
@@ -143,8 +145,15 @@ RoutabilityStats run_routability_stage(
         //    the density stays feasible.
         scheme->update(d, cmap);
         effective_ratios = scheme->ratios();
+        const double extra_area = grid_sum(extra);
         budget_inflation(d, first_filler, effective_ratios,
-                         cfg.inflation_budget_frac, grid_sum(extra));
+                         cfg.inflation_budget_frac, extra_area);
+        // Invariant audit: the budgeted ratios must balance — real-cell
+        // area growth inside the filler budget, uniform filler shrink.
+        if (audit_enabled())
+            audit::check_inflation_budget(d, first_filler, effective_ratios,
+                                          cfg.inflation_budget_frac,
+                                          extra_area);
         {
             double acc = 0.0;
             int n = 0;

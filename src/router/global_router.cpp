@@ -6,6 +6,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "audit/invariant_audit.hpp"
 #include "router/net_decompose.hpp"
 #include "util/parallel.hpp"
 
@@ -230,6 +231,7 @@ struct RouteState {
 }  // namespace
 
 RouteResult GlobalRouter::route(const Design& d) const {
+    const AuditStageScope audit_scope("global-route");
     // Resolve the layer stack once per invocation; both capacity building
     // and the final layer assignment consume the same copy.
     const std::vector<LayerSpec> layers = effective_layers();
@@ -349,6 +351,12 @@ RouteResult GlobalRouter::route(const Design& d) const {
             pending.swap(deferred);
         }
     }
+    // Invariant audit: after the initial pass the demand maps must equal
+    // the sum of the committed paths exactly (the batched-wave scheme may
+    // not drop or double-commit a connection).
+    if (audit_enabled())
+        audit::check_router_accounting(st.dem_h, st.dem_v, st.bend_vias,
+                                       paths, st.hist_h, st.hist_v);
 
     // Negotiation-style rip-up-and-reroute. Negotiation does not decrease
     // total overflow monotonically, so keep the best state seen.
@@ -427,6 +435,13 @@ RouteResult GlobalRouter::route(const Design& d) const {
             st.commit(p, +1.0);
         }
 
+        // Invariant audit: a rip-up/reroute round must leave edge usage
+        // equal to the committed segments (every commit(-1) matched by a
+        // commit(+1)) with non-negative history costs.
+        if (audit_enabled())
+            audit::check_router_accounting(st.dem_h, st.dem_v, st.bend_vias,
+                                           paths, st.hist_h, st.hist_v);
+
         const double overflow = total_overflow_now();
         if (overflow < best_overflow) {
             best_overflow = overflow;
@@ -441,6 +456,11 @@ RouteResult GlobalRouter::route(const Design& d) const {
     st.dem_h = std::move(best_dem_h);
     st.dem_v = std::move(best_dem_v);
     st.bend_vias = std::move(best_bends);
+    // Invariant audit: the restored snapshot must still be consistent
+    // (paths and demand grids are saved/restored together).
+    if (audit_enabled())
+        audit::check_router_accounting(st.dem_h, st.dem_v, st.bend_vias,
+                                       paths, st.hist_h, st.hist_v);
 
     // Assemble results.
     RouteResult res;

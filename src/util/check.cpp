@@ -1,0 +1,52 @@
+#include "util/check.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rdp {
+
+namespace {
+
+const char* g_stage = "?";
+
+#if RDP_AUDIT_COMPILED
+bool g_enabled = [] {
+    const char* env = std::getenv("RDP_AUDIT");
+    if (env == nullptr) return true;
+    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+             std::strcmp(env, "false") == 0);
+}();
+#endif
+
+}  // namespace
+
+AuditFailure::AuditFailure(std::string stage, std::string invariant,
+                           const std::string& message)
+    : std::runtime_error("[audit] stage=" + stage + " invariant=" + invariant +
+                         ": " + message),
+      stage_(std::move(stage)),
+      invariant_(std::move(invariant)) {}
+
+#if RDP_AUDIT_COMPILED
+bool audit_enabled() { return g_enabled; }
+void set_audit_enabled(bool on) { g_enabled = on; }
+#else
+bool audit_enabled() { return false; }
+void set_audit_enabled(bool) {}
+#endif
+
+const char* audit_stage() { return g_stage; }
+
+AuditStageScope::AuditStageScope(const char* stage) : prev_(g_stage) {
+    g_stage = stage;
+}
+
+AuditStageScope::~AuditStageScope() { g_stage = prev_; }
+
+namespace detail {
+void audit_fail(const std::string& invariant, const std::string& message) {
+    throw AuditFailure(g_stage, invariant, message);
+}
+}  // namespace detail
+
+}  // namespace rdp

@@ -1,0 +1,106 @@
+#pragma once
+// Runtime contract checking for the invariant-audit subsystem (see
+// src/audit/invariant_audit.hpp and DESIGN.md "Correctness tooling").
+//
+// Three macros express contracts:
+//   RDP_ASSERT(cond, msg)        - checked whenever audits are active.
+//   RDP_DCHECK(cond, msg)        - like RDP_ASSERT, but compiled out in
+//                                  NDEBUG builds (hot-path contracts).
+//   RDP_CHECK_FINITE(value, msg) - RDP_ASSERT(std::isfinite(value)).
+// `msg` is a stream expression: RDP_ASSERT(x > 0, "x = " << x).
+//
+// Activation is two-level:
+//   * compile time: the RDP_AUDIT CMake option (default ON) defines
+//     RDP_AUDIT=1; without it every macro expands to a no-op.
+//   * run time: audits default to enabled and can be switched off with
+//     the environment variable RDP_AUDIT=0 (or "off"/"false"), or from
+//     code via set_audit_enabled(). Disabled checks cost one branch.
+//
+// A violated contract throws AuditFailure naming the active audit stage
+// (see AuditStageScope) — audits observe state and report; they never
+// mutate placement or routing results.
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rdp {
+
+/// Thrown on any violated audit contract. `stage` is the pipeline stage
+/// active when the check tripped (e.g. "wirelength-gp", "global-route",
+/// "legalize"); `invariant` names the violated contract.
+class AuditFailure : public std::runtime_error {
+public:
+    AuditFailure(std::string stage, std::string invariant,
+                 const std::string& message);
+
+    const std::string& stage() const { return stage_; }
+    const std::string& invariant() const { return invariant_; }
+
+private:
+    std::string stage_;
+    std::string invariant_;
+};
+
+/// True when audit checks are active (compiled in AND runtime-enabled).
+bool audit_enabled();
+/// Override the runtime toggle (tests; initial value comes from $RDP_AUDIT).
+/// Has no effect when audits are compiled out.
+void set_audit_enabled(bool on);
+
+/// Name of the innermost active audit stage ("?" outside any scope).
+const char* audit_stage();
+
+/// RAII marker for a pipeline stage: audit failures inside the scope are
+/// attributed to `stage`. Scopes nest (the router's scope sits inside the
+/// routability loop's); the previous stage is restored on destruction.
+/// Stages are entered only from the serial orchestration layer, never from
+/// inside parallel regions, so a plain global suffices.
+class AuditStageScope {
+public:
+    explicit AuditStageScope(const char* stage);
+    ~AuditStageScope();
+    AuditStageScope(const AuditStageScope&) = delete;
+    AuditStageScope& operator=(const AuditStageScope&) = delete;
+
+private:
+    const char* prev_;
+};
+
+namespace detail {
+/// Throws AuditFailure for the current stage. `invariant` defaults to the
+/// failed expression text when a contract macro trips.
+[[noreturn]] void audit_fail(const std::string& invariant,
+                             const std::string& message);
+}  // namespace detail
+
+}  // namespace rdp
+
+#if defined(RDP_AUDIT) && RDP_AUDIT
+#define RDP_AUDIT_COMPILED 1
+#else
+#define RDP_AUDIT_COMPILED 0
+#endif
+
+#if RDP_AUDIT_COMPILED
+#define RDP_ASSERT(cond, msg)                                        \
+    do {                                                             \
+        if (::rdp::audit_enabled() && !(cond)) {                     \
+            std::ostringstream rdp_check_oss_;                       \
+            rdp_check_oss_ << msg;                                   \
+            ::rdp::detail::audit_fail(#cond, rdp_check_oss_.str());  \
+        }                                                            \
+    } while (0)
+#else
+#define RDP_ASSERT(cond, msg) static_cast<void>(0)
+#endif
+
+#if RDP_AUDIT_COMPILED && !defined(NDEBUG)
+#define RDP_DCHECK(cond, msg) RDP_ASSERT(cond, msg)
+#else
+#define RDP_DCHECK(cond, msg) static_cast<void>(0)
+#endif
+
+#define RDP_CHECK_FINITE(value, msg) \
+    RDP_ASSERT(std::isfinite(value), msg << " (value = " << (value) << ")")

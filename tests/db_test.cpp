@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "benchgen/generator.hpp"
 #include "db/design.hpp"
 #include "db/design_stats.hpp"
 #include "db/netlist_io.hpp"
@@ -154,6 +155,77 @@ TEST(NetlistIoTest, CommentsAndBlankLinesIgnored) {
     const Design d = read_design(ss);
     EXPECT_EQ(d.name, "x");
     EXPECT_EQ(d.region, Rect(0, 0, 10, 10));
+}
+
+// A generator-produced circuit (non-round coordinates, macros, IOs, rails)
+// survives write -> read with every field bitwise identical: write_design
+// emits doubles at max_digits10 precision.
+TEST(NetlistIoTest, BenchgenRoundTripIsExact) {
+    GeneratorConfig cfg;
+    cfg.name = "roundtrip";
+    cfg.seed = 7;
+    cfg.num_cells = 200;
+    cfg.num_ios = 12;
+    cfg.num_macros = 2;
+    const Design d = generate_circuit(cfg);
+
+    std::stringstream ss;
+    write_design(d, ss);
+    const Design e = read_design(ss);
+
+    EXPECT_EQ(e.name, d.name);
+    EXPECT_EQ(e.region, d.region);
+    EXPECT_EQ(e.row_height, d.row_height);
+    EXPECT_EQ(e.site_width, d.site_width);
+    ASSERT_EQ(e.num_cells(), d.num_cells());
+    for (int i = 0; i < d.num_cells(); ++i) {
+        const Cell& a = d.cells[static_cast<size_t>(i)];
+        const Cell& b = e.cells[static_cast<size_t>(i)];
+        EXPECT_EQ(b.name, a.name);
+        EXPECT_EQ(b.kind, a.kind);
+        EXPECT_EQ(b.width, a.width);
+        EXPECT_EQ(b.height, a.height);
+        EXPECT_EQ(b.pos, a.pos);
+    }
+    ASSERT_EQ(e.num_pins(), d.num_pins());
+    for (int i = 0; i < d.num_pins(); ++i) {
+        EXPECT_EQ(e.pins[static_cast<size_t>(i)].cell,
+                  d.pins[static_cast<size_t>(i)].cell);
+        EXPECT_EQ(e.pins[static_cast<size_t>(i)].offset,
+                  d.pins[static_cast<size_t>(i)].offset);
+    }
+    ASSERT_EQ(e.num_nets(), d.num_nets());
+    for (int i = 0; i < d.num_nets(); ++i) {
+        EXPECT_EQ(e.nets[static_cast<size_t>(i)].name,
+                  d.nets[static_cast<size_t>(i)].name);
+        EXPECT_EQ(e.nets[static_cast<size_t>(i)].weight,
+                  d.nets[static_cast<size_t>(i)].weight);
+        EXPECT_EQ(e.nets[static_cast<size_t>(i)].pins,
+                  d.nets[static_cast<size_t>(i)].pins);
+    }
+    ASSERT_EQ(e.pg_rails.size(), d.pg_rails.size());
+    for (size_t i = 0; i < d.pg_rails.size(); ++i) {
+        EXPECT_EQ(e.pg_rails[i].orient, d.pg_rails[i].orient);
+        EXPECT_EQ(e.pg_rails[i].box, d.pg_rails[i].box);
+    }
+    EXPECT_EQ(e.rows.size(), d.rows.size());
+    EXPECT_TRUE(e.validate().empty());
+
+    const DesignStats sd = compute_stats(d);
+    const DesignStats se = compute_stats(e);
+    EXPECT_EQ(se.num_movable, sd.num_movable);
+    EXPECT_EQ(se.num_macros, sd.num_macros);
+    EXPECT_EQ(se.num_nets, sd.num_nets);
+    EXPECT_EQ(se.num_pins, sd.num_pins);
+    EXPECT_DOUBLE_EQ(se.avg_net_degree, sd.avg_net_degree);
+    EXPECT_EQ(se.degree_histogram, sd.degree_histogram);
+
+    // Writing the re-read design reproduces the byte stream exactly.
+    std::stringstream ss2;
+    write_design(e, ss2);
+    std::stringstream ss3;
+    write_design(d, ss3);
+    EXPECT_EQ(ss2.str(), ss3.str());
 }
 
 TEST(DesignStatsTest, Histogram) {
