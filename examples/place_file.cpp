@@ -6,6 +6,7 @@
 //   ./examples/place_file <input> [output] [--mode=wl|route|ours]
 //                         [--bins=N] [--seed=N] [--no-mci] [--no-dc]
 //                         [--no-dpa] [--multi-pin-moving]
+//                         [--budget-ms=N] [--no-recover]
 //
 // With no arguments, generates a demo design, saves it to
 // /tmp/rdplace_demo.txt, and runs on that file.
@@ -53,6 +54,10 @@ int main(int argc, char** argv) {
             cfg.enable_dpa = false;
         } else if (arg == "--multi-pin-moving") {
             cfg.netmove.move_multi_pin_edges = true;  // paper extension
+        } else if (arg.rfind("--budget-ms=", 0) == 0) {
+            cfg.recover.stage_budget_ms = std::stod(arg.substr(12));
+        } else if (arg == "--no-recover") {
+            cfg.recover.enabled = false;
         } else if (input_path.empty()) {
             input_path = arg;
         } else if (output_path.empty()) {
@@ -113,6 +118,15 @@ int main(int argc, char** argv) {
               << res.hpwl_final << ", " << res.wl_iters
               << " wirelength iters + " << res.route_outer_iters
               << " routability iters\n";
+    if (res.recovery.recovered_any()) {
+        std::cout << "recovery: " << res.recovery.events.size()
+                  << " events, " << res.recovery.rollbacks << " rollbacks, "
+                  << res.recovery.degraded_stages << " degraded stages\n";
+        for (const auto& e : res.recovery.events)
+            std::cout << "  [" << e.stage << "] iter " << e.iter << " "
+                      << recover::fault_kind_name(e.kind) << " -> "
+                      << e.action << " (" << e.detail << ")\n";
+    }
 
     const EvalMetrics m = evaluate_placement(res.placed);
     std::cout << "routed: DRWL " << m.drwl << ", #vias " << m.vias

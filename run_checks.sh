@@ -29,6 +29,19 @@ FAILURES=()
 note() { printf '\n==== %s ====\n' "$*"; }
 record_failure() { FAILURES+=("$1"); printf '!!!! FAILED: %s\n' "$1"; }
 
+# A ctest label that selects zero tests is a silently skipped gate (e.g. a
+# suite renamed without its label moving along). Fail loudly instead.
+require_label() {
+    local dir="$1" label="$2"
+    local n
+    n=$(ctest --test-dir "$dir" -L "$label" -N 2>/dev/null |
+        sed -n 's/.*Total Tests: //p')
+    if [[ -z "$n" || "$n" -eq 0 ]]; then
+        record_failure "label '$label' selects no tests in $dir"
+        return 1
+    fi
+}
+
 # ---- 1. format check (skip when clang-format is unavailable) --------------
 note "format check"
 if command -v clang-format >/dev/null 2>&1; then
@@ -44,6 +57,9 @@ fi
 note "default build (RDP_WERROR=ON) + ctest"
 if cmake -B build-checks -S . -DRDP_WERROR=ON >/dev/null &&
    cmake --build build-checks -j "$JOBS"; then
+    require_label build-checks sanitize
+    require_label build-checks parallel
+    require_label build-checks recover
     if ! ctest --test-dir build-checks --output-on-failure -j "$JOBS"; then
         record_failure "default ctest"
     fi
@@ -74,9 +90,11 @@ if [[ "$FAST" == 0 ]]; then
         note "sanitizer: $preset (ctest -L $label)"
         if cmake -B "$dir" -S . -DRDP_SANITIZE="$preset" >/dev/null &&
            cmake --build "$dir" -j "$JOBS"; then
-            if ! ctest --test-dir "$dir" -L "$label" --output-on-failure \
-                       -j "$JOBS"; then
-                record_failure "sanitizer $preset"
+            if require_label "$dir" "$label"; then
+                if ! ctest --test-dir "$dir" -L "$label" \
+                           --output-on-failure -j "$JOBS"; then
+                    record_failure "sanitizer $preset"
+                fi
             fi
         else
             record_failure "sanitizer $preset build"
@@ -85,6 +103,19 @@ if [[ "$FAST" == 0 ]]; then
     sanitize_config "address" "sanitize"
     sanitize_config "undefined" "sanitize"
     sanitize_config "address;undefined" "sanitize"
+
+    # Fault injection under ASan+UBSan: every recovery path (rollbacks,
+    # demand fallbacks, degradations) must be memory- and UB-clean. The
+    # recover label is part of the sanitize set above; this explicit pass
+    # keeps the gate visible even if the label sets drift apart.
+    note "fault injection under ASan+UBSan (ctest -L recover)"
+    if require_label build-san-address-undefined recover; then
+        if ! ctest --test-dir build-san-address-undefined -L recover \
+                   --output-on-failure -j "$JOBS"; then
+            record_failure "fault injection (asan+ubsan)"
+        fi
+    fi
+
     sanitize_config "thread" "parallel"
 else
     note "sanitizer matrix skipped (--fast)"

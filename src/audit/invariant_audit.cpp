@@ -9,7 +9,7 @@ namespace rdp::audit {
 
 namespace {
 
-constexpr size_t kNumAuditors = 5;
+constexpr size_t kNumAuditors = 6;
 
 constexpr std::array<AuditorInfo, kNumAuditors> kAuditors = {{
     {"finite-gradients",
@@ -18,6 +18,8 @@ constexpr std::array<AuditorInfo, kNumAuditors> kAuditors = {{
      "density-grid mass equals total clipped movable+fixed charge"},
     {"router-accounting",
      "edge demand equals committed route segments; history costs >= 0"},
+    {"congestion-finite",
+     "congestion-map demand and capacity are finite and non-negative"},
     {"inflation-budget",
      "inflated-area bookkeeping balances against the filler budget"},
     {"legalized", "legalized cells are row/site-aligned and overlap-free"},
@@ -137,6 +139,26 @@ void check_router_accounting(const GridF& dem_h, const GridF& dem_v,
     };
     nonneg(hist_h, "horizontal");
     nonneg(hist_v, "vertical");
+}
+
+void check_congestion_map(const CongestionMap& cmap) {
+    if (!audit_enabled()) return;
+    note_run("congestion-finite");
+    const GridF& dmd = cmap.demand();
+    const GridF& cap = cmap.capacity();
+    for (int y = 0; y < dmd.height(); ++y) {
+        for (int x = 0; x < dmd.width(); ++x) {
+            const double dv = dmd.at(x, y);
+            const double cv = cap.at(x, y);
+            if (std::isfinite(dv) && dv >= 0.0 && std::isfinite(cv) &&
+                cv >= 0.0)
+                continue;
+            std::ostringstream oss;
+            oss << "congestion map at G-cell (" << x << ", " << y
+                << ") is invalid: demand " << dv << ", capacity " << cv;
+            fail("congestion-finite", oss.str());
+        }
+    }
 }
 
 void check_inflation_budget(const Design& d, int first_filler,

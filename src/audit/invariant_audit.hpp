@@ -16,6 +16,10 @@
 //                      path bends, and negotiation history costs are
 //                      non-negative (checked after the initial routing pass
 //                      and after every rip-up-and-reroute round).
+//   congestion-finite  the Eq. (3) congestion map consumed by the
+//                      routability loop has finite, non-negative demand and
+//                      capacity everywhere (checked on every fresh map,
+//                      router-produced or RUDY-estimated).
 //   inflation-budget   after budgeting, inflated-area bookkeeping balances:
 //                      every ratio is finite and positive, real-cell area
 //                      growth stays within the filler-area budget net of
@@ -34,6 +38,7 @@
 
 #include "db/design.hpp"
 #include "grid/bin_grid.hpp"
+#include "grid/congestion_map.hpp"
 #include "router/pattern_route.hpp"
 #include "util/check.hpp"
 #include "util/grid2d.hpp"
@@ -69,6 +74,9 @@ void check_router_accounting(const GridF& dem_h, const GridF& dem_v,
                              const GridF& bend_vias,
                              const std::vector<RoutePath>& paths,
                              const GridF& hist_h, const GridF& hist_v);
+
+/// Finite, non-negative demand and capacity in every G-cell of `cmap`.
+void check_congestion_map(const CongestionMap& cmap);
 
 /// Audit the post-budget inflation ratios (see budget_inflation):
 /// cells [0, first_filler) are real, the rest fillers. `extra_area` is the

@@ -98,6 +98,9 @@ NetMovingResult NetMovingGradient::compute(const Design& d,
         int virtual_cells = 0;
         int multi_pin = 0;
     };
+    // No nets: run_chunks would never invoke the chunk body, leaving the
+    // per-chunk accumulators unallocated for the merge below.
+    if (d.nets.empty()) return res;
     const par::ChunkPlan cp = par::plan(d.nets.size(), 256, 16);
     std::vector<ChunkAcc> acc(cp.num_chunks);
     std::vector<std::vector<Vec2>> partial(cp.num_chunks);

@@ -1,11 +1,18 @@
 #include "db/netlist_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 
 namespace rdp {
+
+ParseError::ParseError(int line, const std::string& reason)
+    : std::runtime_error("netlist_io: " + reason + " at line " +
+                         std::to_string(line)),
+      line_(line),
+      reason_(reason) {}
 
 namespace {
 const char* kind_tag(CellKind k) {
@@ -21,8 +28,7 @@ CellKind parse_kind(const std::string& s, int line) {
     if (s == "mov") return CellKind::Movable;
     if (s == "fix") return CellKind::Fixed;
     if (s == "mac") return CellKind::Macro;
-    throw std::runtime_error("netlist_io: bad cell kind '" + s + "' at line " +
-                             std::to_string(line));
+    throw ParseError(line, "bad cell kind '" + s + "'");
 }
 }  // namespace
 
@@ -69,8 +75,10 @@ Design read_design(std::istream& is) {
     std::string line;
     int line_no = 0;
     auto fail = [&](const std::string& msg) {
-        throw std::runtime_error("netlist_io: " + msg + " at line " +
-                                 std::to_string(line_no));
+        throw ParseError(line_no, msg);
+    };
+    auto finite = [&](double v, const char* what) {
+        if (!std::isfinite(v)) fail(std::string("non-finite ") + what);
     };
     while (std::getline(is, line)) {
         ++line_no;
@@ -84,39 +92,72 @@ Design read_design(std::istream& is) {
             if (!(ss >> d.region.lx >> d.region.ly >> d.region.hx >>
                   d.region.hy))
                 fail("bad region");
+            finite(d.region.lx, "region coordinate");
+            finite(d.region.ly, "region coordinate");
+            finite(d.region.hx, "region coordinate");
+            finite(d.region.hy, "region coordinate");
+            if (d.region.hx <= d.region.lx || d.region.hy <= d.region.ly)
+                fail("region has non-positive extent");
         } else if (tok == "rowheight") {
             if (!(ss >> d.row_height)) fail("bad rowheight");
+            if (!std::isfinite(d.row_height) || d.row_height <= 0.0)
+                fail("rowheight must be finite and positive");
         } else if (tok == "sitewidth") {
             if (!(ss >> d.site_width)) fail("bad sitewidth");
+            if (!std::isfinite(d.site_width) || d.site_width <= 0.0)
+                fail("sitewidth must be finite and positive");
         } else if (tok == "cell") {
             std::string nm, kind;
             double w, h, cx, cy;
             if (!(ss >> nm >> kind >> w >> h >> cx >> cy)) fail("bad cell");
+            finite(w, "cell width");
+            finite(h, "cell height");
+            finite(cx, "cell position");
+            finite(cy, "cell position");
+            if (w < 0.0 || h < 0.0) fail("negative cell dimensions");
             d.add_cell(nm, w, h, parse_kind(kind, line_no), {cx, cy});
         } else if (tok == "pin") {
             int cell;
             double dx, dy;
             if (!(ss >> cell >> dx >> dy)) fail("bad pin");
             if (cell < 0 || cell >= d.num_cells()) fail("pin on missing cell");
+            finite(dx, "pin offset");
+            finite(dy, "pin offset");
             d.add_pin(cell, {dx, dy});
         } else if (tok == "net") {
             std::string nm;
             double wgt;
             if (!(ss >> nm >> wgt)) fail("bad net");
+            if (!std::isfinite(wgt) || wgt < 0.0)
+                fail("net weight must be finite and non-negative");
             const int net = d.add_net(nm, wgt);
             int pin;
             while (ss >> pin) {
                 if (pin < 0 || pin >= d.num_pins()) fail("net on missing pin");
+                if (d.pins[static_cast<size_t>(pin)].net != -1)
+                    fail("pin " + std::to_string(pin) +
+                         " is already connected");
                 d.connect(net, pin);
             }
+            if (!ss.eof()) fail("bad pin index");
         } else if (tok == "blockage") {
             Rect b;
             if (!(ss >> b.lx >> b.ly >> b.hx >> b.hy)) fail("bad blockage");
+            finite(b.lx, "blockage coordinate");
+            finite(b.ly, "blockage coordinate");
+            finite(b.hx, "blockage coordinate");
+            finite(b.hy, "blockage coordinate");
             d.routing_blockages.push_back(b);
         } else if (tok == "rail") {
             std::string o;
             Rect b;
             if (!(ss >> o >> b.lx >> b.ly >> b.hx >> b.hy)) fail("bad rail");
+            if (o != "h" && o != "v")
+                fail("bad rail orientation '" + o + "'");
+            finite(b.lx, "rail coordinate");
+            finite(b.ly, "rail coordinate");
+            finite(b.hx, "rail coordinate");
+            finite(b.hy, "rail coordinate");
             PGRail r;
             r.box = b;
             r.orient = (o == "h") ? Orient::Horizontal : Orient::Vertical;

@@ -15,17 +15,36 @@
 //   blockage <lx> <ly> <hx> <hy>
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "db/design.hpp"
 
 namespace rdp {
 
+/// Typed parse failure: carries the 1-based input line and the reason.
+/// Derives from std::runtime_error, so callers that only care about
+/// "malformed input" keep working; what() reads
+///   netlist_io: <reason> at line <line>
+class ParseError : public std::runtime_error {
+public:
+    ParseError(int line, const std::string& reason);
+
+    int line() const { return line_; }
+    const std::string& reason() const { return reason_; }
+
+private:
+    int line_;
+    std::string reason_;
+};
+
 void write_design(const Design& d, std::ostream& os);
 void write_design_file(const Design& d, const std::string& path);
 
-/// Parses a design; throws std::runtime_error with a line number on a
-/// malformed input.
+/// Parses a design; throws ParseError naming the offending line on any
+/// malformed input: unknown directives, missing or trailing fields,
+/// non-finite numbers, non-positive dimensions, inverted regions,
+/// out-of-range cell/pin indices, and doubly-connected pins.
 Design read_design(std::istream& is);
 Design read_design_file(const std::string& path);
 

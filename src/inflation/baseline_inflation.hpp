@@ -27,6 +27,8 @@ public:
     void update(const Design& d, const CongestionMap& cmap) override;
     const std::vector<double>& ratios() const override { return r_; }
     void reset(int num_cells) override;
+    InflationSnapshot snapshot() const override { return {r_, {}, {}, 0.0, 0}; }
+    void restore(const InflationSnapshot& s) override { r_ = s.r; }
     const char* name() const override { return "current-only"; }
 
 private:
@@ -41,6 +43,8 @@ public:
     void update(const Design& d, const CongestionMap& cmap) override;
     const std::vector<double>& ratios() const override { return r_; }
     void reset(int num_cells) override;
+    InflationSnapshot snapshot() const override { return {r_, {}, {}, 0.0, 0}; }
+    void restore(const InflationSnapshot& s) override { r_ = s.r; }
     const char* name() const override { return "monotone"; }
 
 private:
@@ -54,6 +58,8 @@ public:
     void update(const Design& d, const CongestionMap& cmap) override;
     const std::vector<double>& ratios() const override { return r_; }
     void reset(int num_cells) override;
+    InflationSnapshot snapshot() const override { return {r_, {}, {}, 0.0, 0}; }
+    void restore(const InflationSnapshot& s) override { r_ = s.r; }
     const char* name() const override { return "none"; }
 
 private:

@@ -19,6 +19,18 @@ void MomentumInflation::reset(int num_cells) {
     prev_avg_ = 0.0;
 }
 
+InflationSnapshot MomentumInflation::snapshot() const {
+    return {r_, dr_, prev_c_, prev_avg_, t_};
+}
+
+void MomentumInflation::restore(const InflationSnapshot& s) {
+    r_ = s.r;
+    dr_ = s.dr;
+    prev_c_ = s.prev_c;
+    prev_avg_ = s.prev_avg;
+    t_ = s.t;
+}
+
 double MomentumInflation::delta(double c_prev, double c_now, double avg_prev,
                                 double avg_now) const {
     // Deflation branch: the cell moved from above-average congestion to

@@ -20,6 +20,18 @@
 
 namespace rdp {
 
+/// Complete serialized state of an inflation scheme, captured into stage
+/// checkpoints by the recovery layer (src/recover) so a rollback restores
+/// the inflation history *paired* with the positions it was scored with.
+/// Schemes without momentum leave the history vectors empty.
+struct InflationSnapshot {
+    std::vector<double> r;       ///< current ratios
+    std::vector<double> dr;      ///< momentum term (momentum scheme only)
+    std::vector<double> prev_c;  ///< last per-cell congestion (momentum only)
+    double prev_avg = 0.0;
+    int t = 0;
+};
+
 /// Abstract inflation scheme so the placer can swap the paper's technique
 /// for the ablation baselines.
 class InflationScheme {
@@ -31,6 +43,9 @@ public:
     virtual const std::vector<double>& ratios() const = 0;
     /// Clear all history and resize for a design with `num_cells` cells.
     virtual void reset(int num_cells) = 0;
+    /// Capture/restore the complete scheme state (checkpoint/rollback).
+    virtual InflationSnapshot snapshot() const = 0;
+    virtual void restore(const InflationSnapshot& s) = 0;
     virtual const char* name() const = 0;
 };
 
@@ -57,6 +72,8 @@ public:
     void update(const Design& d, const CongestionMap& cmap) override;
     const std::vector<double>& ratios() const override { return r_; }
     void reset(int num_cells) override;
+    InflationSnapshot snapshot() const override;
+    void restore(const InflationSnapshot& s) override;
     const char* name() const override { return "momentum"; }
 
     const MomentumInflationConfig& config() const { return cfg_; }

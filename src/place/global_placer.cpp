@@ -4,6 +4,9 @@
 #include <chrono>
 #include <cmath>
 
+#include <limits>
+#include <sstream>
+
 #include "audit/invariant_audit.hpp"
 #include "fft/fft.hpp"
 #include "legal/abacus.hpp"
@@ -11,6 +14,9 @@
 #include "place/nesterov.hpp"
 #include "place/objective.hpp"
 #include "place/routability_loop.hpp"
+#include "recover/checkpoint.hpp"
+#include "recover/fault_injection.hpp"
+#include "recover/stage_guard.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "wirelength/hpwl.hpp"
@@ -93,10 +99,16 @@ PlaceResult GlobalPlacer::place(const Design& input) const {
     // ---- Stage 1: wirelength-driven GP ------------------------------------
     {
         const AuditStageScope audit_scope("wirelength-gp");
+        recover::StageGuard sguard("wirelength-gp", cfg_.recover,
+                                   &res.recovery);
         std::vector<Vec2> pos(movable.size());
         for (size_t i = 0; i < movable.size(); ++i)
             pos[i] = d.cells[static_cast<size_t>(movable[i])].pos;
-        NesterovSolver solver(pos);
+        // Recovery-adjustable knobs; identical to the configured values on
+        // a clean run (the recovery ladder is the only writer).
+        NesterovConfig nes_cfg;
+        double lambda1_growth = cfg_.lambda1_growth;
+        NesterovSolver solver(pos, nes_cfg);
         std::vector<Vec2> grad;
 
         const double gamma0 =
@@ -117,20 +129,155 @@ PlaceResult GlobalPlacer::place(const Design& input) const {
             obj.set_lambda1(l1);
         }
 
-        for (int it = 0; it < cfg_.max_wl_iters; ++it) {
-            const ObjectiveTerms terms =
-                obj.evaluate(d, movable, solver.reference(), grad);
-            res.overflow_history.push_back(terms.overflow);
-            solver.step(grad, project);
-            obj.set_lambda1(obj.lambda1() * cfg_.lambda1_growth);
-            gamma = std::max(gamma * cfg_.gamma_decay, gamma_min);
-            obj.set_gamma(gamma);
-            ++res.wl_iters;
-            if (cfg_.verbose && it % 50 == 0) {
-                RDP_LOG_INFO() << "[wl-iter " << it << "] overflow="
-                               << terms.overflow << " WA=" << terms.wirelength;
+        // Physical wirelength bound (one die span per net), the floor of
+        // the explosion threshold: early-stage spreading legitimately
+        // grows the WA total many-fold and must never false-positive.
+        double die_bound = d.region.width() + d.region.height();
+        {
+            int nets = 0;
+            for (const Net& n : d.nets)
+                if (n.degree() >= 2) ++nets;
+            die_bound *= static_cast<double>(std::max(nets, 1));
+        }
+
+        recover::StageCheckpoint ckpt;
+        size_t hist_at_ckpt = 0;
+        double last_wl = 0.0;
+
+        int it = 0;
+        // Recovery ladder for the wirelength stage: roll back to the last
+        // checkpoint with a halved step and a tightened lambda schedule.
+        // Returns false once retries are exhausted (stage degrades to the
+        // checkpoint state).
+        auto apply_recovery = [&](recover::FaultKind kind,
+                                  const char* what) -> bool {
+            const bool retry = sguard.allow_retry(kind, it, what);
+            if (ckpt.valid()) {
+                if (retry) {
+                    nes_cfg.initial_step *= cfg_.recover.step_shrink;
+                    lambda1_growth = 1.0 + (lambda1_growth - 1.0) *
+                                               cfg_.recover.lambda_tighten;
+                }
+                solver = NesterovSolver(ckpt.pos, nes_cfg);
+                obj.set_lambda1(ckpt.lambda1);
+                gamma = ckpt.gamma;
+                obj.set_gamma(gamma);
+                res.overflow_history.resize(hist_at_ckpt);
+                res.wl_iters = ckpt.iter;
+                it = ckpt.iter;
             }
-            if (terms.overflow < cfg_.stop_overflow && it > 20) break;
+            if (!retry) {
+                sguard.degrade(kind, it,
+                               "retries exhausted; finishing on the last"
+                               " checkpoint");
+                return false;
+            }
+            ++res.recovery.rollbacks;
+            std::ostringstream oss;
+            oss << "restored checkpoint of iteration " << ckpt.iter
+                << "; step x" << cfg_.recover.step_shrink
+                << ", lambda1 growth -> " << lambda1_growth;
+            sguard.record(kind, it, "rollback", oss.str());
+            return true;
+        };
+
+        while (it < cfg_.max_wl_iters) {
+            if (sguard.over_budget(it)) break;
+            if (sguard.active() &&
+                (!ckpt.valid() ||
+                 it - ckpt.iter >= cfg_.recover.checkpoint_every)) {
+                ckpt.iter = it;
+                ckpt.pos = solver.solution();
+                ckpt.lambda1 = obj.lambda1();
+                ckpt.gamma = gamma;
+                ckpt.wirelength = last_wl;
+                hist_at_ckpt = res.overflow_history.size();
+            }
+            try {
+                if (sguard.active() &&
+                    recover::fault::fire("wirelength-gp",
+                                         recover::FaultKind::HpwlExplosion,
+                                         it)) {
+                    // Fling the optimizer state far outside the die.
+                    std::vector<Vec2> blown = solver.solution();
+                    const Vec2 c = d.region.center();
+                    for (Vec2& p : blown)
+                        p = {c.x + (p.x - c.x) * 1e4,
+                             c.y + (p.y - c.y) * 1e4};
+                    solver = NesterovSolver(std::move(blown), nes_cfg);
+                }
+                const ObjectiveTerms terms =
+                    obj.evaluate(d, movable, solver.reference(), grad);
+                if (sguard.active()) {
+                    // Divergence detection (observe-only): non-finite
+                    // terms, or wirelength beyond k x checkpoint/die bound.
+                    const double tsum = terms.wirelength + terms.density +
+                                        terms.overflow;
+                    if (!std::isfinite(tsum)) {
+                        std::ostringstream oss;
+                        oss << "non-finite objective terms at iteration "
+                            << it;
+                        throw recover::RecoverableError(
+                            recover::FaultKind::GradientNaN,
+                            "wirelength-gp", oss.str());
+                    }
+                    const double bound =
+                        cfg_.recover.hpwl_explosion_factor *
+                        std::max(ckpt.wirelength, die_bound);
+                    if (terms.wirelength > bound) {
+                        std::ostringstream oss;
+                        oss << "WA wirelength " << terms.wirelength
+                            << " exceeds the explosion bound " << bound;
+                        throw recover::RecoverableError(
+                            recover::FaultKind::HpwlExplosion,
+                            "wirelength-gp", oss.str());
+                    }
+                }
+                res.overflow_history.push_back(terms.overflow);
+                if (sguard.active() && !grad.empty() &&
+                    recover::fault::fire("wirelength-gp",
+                                         recover::FaultKind::GradientNaN,
+                                         it))
+                    grad[0].x = std::numeric_limits<double>::quiet_NaN();
+                if (sguard.active()) {
+                    // Catch non-finite gradients before they step: a NaN
+                    // position would poison every later evaluation (and the
+                    // grid index casts behind it).
+                    for (size_t gi = 0; gi < grad.size(); ++gi) {
+                        if (std::isfinite(grad[gi].x) &&
+                            std::isfinite(grad[gi].y))
+                            continue;
+                        std::ostringstream oss;
+                        oss << "non-finite gradient of slot " << gi
+                            << " at iteration " << it;
+                        throw recover::RecoverableError(
+                            recover::FaultKind::GradientNaN,
+                            "wirelength-gp", oss.str());
+                    }
+                }
+                solver.step(grad, project);
+                obj.set_lambda1(obj.lambda1() * lambda1_growth);
+                gamma = std::max(gamma * cfg_.gamma_decay, gamma_min);
+                obj.set_gamma(gamma);
+                ++res.wl_iters;
+                last_wl = terms.wirelength;
+                if (cfg_.verbose && it % 50 == 0) {
+                    RDP_LOG_INFO()
+                        << "[wl-iter " << it << "] overflow="
+                        << terms.overflow << " WA=" << terms.wirelength;
+                }
+                const bool done =
+                    terms.overflow < cfg_.stop_overflow && it > 20;
+                ++it;
+                if (done) break;
+            } catch (const recover::RecoverableError& e) {
+                if (!apply_recovery(e.kind(), e.what())) break;
+            } catch (const AuditFailure& e) {
+                if (!sguard.active()) throw;
+                if (!apply_recovery(recover::classify_audit_failure(e),
+                                    e.what()))
+                    break;
+            }
         }
         const std::vector<Vec2>& sol = solver.solution();
         for (size_t i = 0; i < movable.size(); ++i)
@@ -141,11 +288,40 @@ PlaceResult GlobalPlacer::place(const Design& input) const {
     if (cfg_.mode != PlacerMode::WirelengthOnly) {
         // PG rail selection from macro positions (Fig. 2 pre-process).
         const std::vector<PGRail> rails = select_pg_rails(d, cfg_.rail_select);
-        const RoutabilityStats rs =
-            run_routability_stage(d, movable, obj, cfg_, rails, first_filler);
-        res.route_outer_iters = rs.outer_iters;
-        res.congestion_history = rs.total_overflow;
-        res.penalty_history = rs.penalty;
+        recover::StageGuard sguard("routability-gp", cfg_.recover,
+                                   &res.recovery);
+        try {
+            const RoutabilityStats rs = run_routability_stage(
+                d, movable, obj, cfg_, rails, first_filler);
+            res.route_outer_iters = rs.outer_iters;
+            res.congestion_history = rs.total_overflow;
+            res.penalty_history = rs.penalty;
+            res.route_best_iter = rs.best_iter;
+            res.recovery.events.insert(res.recovery.events.end(),
+                                       rs.recovery.events.begin(),
+                                       rs.recovery.events.end());
+            res.recovery.rollbacks += rs.recovery.rollbacks;
+            res.recovery.degraded_stages += rs.recovery.degraded_stages;
+        } catch (const AuditFailure& e) {
+            // The stage handles in-loop failures itself; anything escaping
+            // (entry/exit audits) skips the optional stage: the stage-1
+            // placement continues into legalization.
+            if (!sguard.active()) throw;
+            obj.set_congestion(nullptr, nullptr);
+            obj.set_extra_density(nullptr);
+            obj.set_inflation(nullptr);
+            sguard.degrade(recover::classify_audit_failure(e), -1,
+                           std::string("routability stage skipped: ") +
+                               e.what());
+        } catch (const recover::RecoverableError& e) {
+            if (!sguard.active()) throw;
+            obj.set_congestion(nullptr, nullptr);
+            obj.set_extra_density(nullptr);
+            obj.set_inflation(nullptr);
+            sguard.degrade(e.kind(), -1,
+                           std::string("routability stage skipped: ") +
+                               e.what());
+        }
     }
 
     // ---- Legalization + detailed placement ---------------------------------
@@ -160,20 +336,32 @@ PlaceResult GlobalPlacer::place(const Design& input) const {
 
     {
         const AuditStageScope audit_scope("legalize");
-        res.legal_stats = tetris_legalize(d, cfg_.tetris);
-        abacus_refine(d, desired);
-        res.dp_stats = detailed_place(d, cfg_.dp);
-        if (cfg_.enable_pin_access_dp) {
-            const std::vector<PGRail> rails =
-                select_pg_rails(d, cfg_.rail_select);
-            pin_access_refine(d, rails);
+        recover::StageGuard sguard("legalize", cfg_.recover, &res.recovery);
+        try {
+            res.legal_stats = tetris_legalize(d, cfg_.tetris);
+            abacus_refine(d, desired);
+            res.dp_stats = detailed_place(d, cfg_.dp);
+            if (cfg_.enable_pin_access_dp) {
+                const std::vector<PGRail> rails =
+                    select_pg_rails(d, cfg_.rail_select);
+                pin_access_refine(d, rails);
+            }
+            // Invariant audit: the legalization pipeline must leave every
+            // cell row/site-aligned and overlap-free. Skipped when Tetris
+            // reported unplaceable cells (pathological utilization) — the
+            // failure is already visible in legal_stats.
+            if (audit_enabled() && res.legal_stats.cells_failed == 0)
+                audit::check_legalized(d);
+        } catch (const AuditFailure& e) {
+            // A tripped legalization audit degrades to the best-effort
+            // placement instead of ending the run; the violation stays
+            // visible in the recovery report.
+            if (!sguard.active()) throw;
+            sguard.degrade(recover::classify_audit_failure(e), -1,
+                           std::string("returning best-effort"
+                                       " legalization: ") +
+                               e.what());
         }
-        // Invariant audit: the legalization pipeline must leave every cell
-        // row/site-aligned and overlap-free. Skipped when Tetris reported
-        // unplaceable cells (pathological utilization) — the failure is
-        // already visible in legal_stats.
-        if (audit_enabled() && res.legal_stats.cells_failed == 0)
-            audit::check_legalized(d);
     }
     res.hpwl_final = total_hpwl(d);
 

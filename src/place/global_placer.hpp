@@ -26,6 +26,7 @@
 #include "legal/detailed_place.hpp"
 #include "legal/tetris.hpp"
 #include "pinaccess/rail_select.hpp"
+#include "recover/recover.hpp"
 #include "router/global_router.hpp"
 
 namespace rdp {
@@ -106,6 +107,11 @@ struct PlacerConfig {
     TetrisConfig tetris;
     DetailedPlaceConfig dp;
 
+    /// Fault-tolerant pipeline runner knobs (DESIGN.md §11): checkpoints,
+    /// divergence thresholds, bounded retries, stage budgets. With the
+    /// defaults a clean run is bitwise identical to recovery disabled.
+    recover::RecoverConfig recover;
+
     uint64_t seed = 1;
     bool verbose = false;
 };
@@ -122,6 +128,12 @@ struct PlaceResult {
     std::vector<double> overflow_history;    ///< stage 1 density overflow
     std::vector<double> congestion_history;  ///< outer-loop total overflow
     std::vector<double> penalty_history;     ///< C(x, y) per outer iteration
+    /// Outer iteration whose snapshot the routability stage restored
+    /// (-1 = entry state; see RoutabilityStats::best_iter).
+    int route_best_iter = -1;
+    /// Recovery and degradation events across all guarded stages; empty on
+    /// a clean run.
+    recover::RecoveryReport recovery;
 };
 
 class GlobalPlacer {

@@ -1,11 +1,18 @@
 #include "place/routability_loop.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <memory>
+#include <sstream>
+#include <utility>
 
 #include "audit/invariant_audit.hpp"
 #include "congestion/rudy.hpp"
 #include "pinaccess/dynamic_density.hpp"
+#include "recover/checkpoint.hpp"
+#include "recover/fault_injection.hpp"
+#include "recover/stage_guard.hpp"
 #include "util/log.hpp"
 
 namespace rdp {
@@ -59,18 +66,89 @@ double budget_inflation(const Design& d, int first_filler,
     return filler_ratio;
 }
 
+namespace {
+
+constexpr const char* kStage = "routability-gp";
+
+/// Physical upper bound on any in-region WA wirelength: one die span
+/// (width + height) per routed net. The explosion threshold is floored at
+/// a multiple of this so legitimate many-fold wirelength growth (early
+/// spreading) can never false-positive.
+double die_wirelength_bound(const Design& d) {
+    int nets = 0;
+    for (const Net& n : d.nets)
+        if (n.degree() >= 2) ++nets;
+    return (d.region.width() + d.region.height()) *
+           static_cast<double>(std::max(nets, 1));
+}
+
+/// Recovery-side mirror of audit::check_congestion_map for runs with the
+/// audits compiled out or disabled: same predicate, RecoverableError
+/// instead of AuditFailure.
+bool find_invalid_gcell(const CongestionMap& cmap, std::string& msg) {
+    const GridF& dmd = cmap.demand();
+    const GridF& cap = cmap.capacity();
+    for (int y = 0; y < dmd.height(); ++y) {
+        for (int x = 0; x < dmd.width(); ++x) {
+            const double dv = dmd.at(x, y);
+            const double cv = cap.at(x, y);
+            if (std::isfinite(dv) && dv >= 0.0 && std::isfinite(cv) &&
+                cv >= 0.0)
+                continue;
+            std::ostringstream oss;
+            oss << "demand/capacity at G-cell (" << x << ", " << y
+                << ") is invalid: " << dv << " / " << cv;
+            msg = oss.str();
+            return true;
+        }
+    }
+    return false;
+}
+
+/// True when the last `flips` deltas of `window` alternate in sign and
+/// each swings by at least `amplitude` of the smaller endpoint — the
+/// outer-loop overflow is bouncing instead of converging.
+bool overflow_oscillates(const std::vector<double>& window, int flips,
+                         double amplitude) {
+    if (static_cast<int>(window.size()) < flips + 1) return false;
+    const size_t n = window.size();
+    double prev_sign = 0.0;
+    for (int i = 0; i < flips; ++i) {
+        const double a = window[n - 2 - static_cast<size_t>(i)];
+        const double b = window[n - 1 - static_cast<size_t>(i)];
+        const double delta = b - a;
+        const double base = std::max(std::min(a, b), 1e-12);
+        if (!(std::abs(delta) >= amplitude * base)) return false;
+        const double sign = delta > 0.0 ? 1.0 : -1.0;
+        if (i > 0 && sign == prev_sign) return false;
+        prev_sign = sign;
+    }
+    return true;
+}
+
+}  // namespace
+
 RoutabilityStats run_routability_stage(
     Design& d, const std::vector<int>& movable, PlacementObjective& obj,
     const PlacerConfig& cfg, const std::vector<PGRail>& selected_rails,
     int first_filler) {
-    const AuditStageScope audit_scope("routability-gp");
+    const AuditStageScope audit_scope(kStage);
     RoutabilityStats stats;
+    recover::StageGuard guard(kStage, cfg.recover, &stats.recovery);
     const BinGrid& grid = obj.grid();
-    GlobalRouter router(grid, cfg.router);
+
+    // Recovery-adjustable knobs. On a clean run they keep their configured
+    // values for the whole stage, so behavior is identical to an unguarded
+    // loop; the recovery ladder below is the only writer.
+    RouterConfig router_cfg = cfg.router;
+    auto router = std::make_unique<GlobalRouter>(grid, router_cfg);
+    NesterovConfig nes_cfg;
+    double lambda1_growth = cfg.lambda1_growth;
+
     CongestionField field(grid);
 
-    const bool dc = cfg.mode == PlacerMode::Ours && cfg.enable_dc;
-    const bool dpa = cfg.mode == PlacerMode::Ours && cfg.enable_dpa;
+    bool dc = cfg.mode == PlacerMode::Ours && cfg.enable_dc;
+    bool dpa = cfg.mode == PlacerMode::Ours && cfg.enable_dpa;
 
     auto scheme = make_inflation_scheme(cfg, d.num_cells());
     std::vector<double> effective_ratios(
@@ -97,6 +175,13 @@ RoutabilityStats run_routability_stage(
     double best_metric = std::numeric_limits<double>::max();
     double best_overflow = std::numeric_limits<double>::max();
     std::vector<Vec2> best_pos = pos;
+    // Bookkeeping paired with best_pos: the snapshot is taken before the
+    // iteration's inflation update, so the state it was scored with is the
+    // *current* ratios/extra charge — restored together at stage end.
+    std::vector<double> best_ratios = effective_ratios;
+    double best_extra_area = grid_sum(extra);
+    InflationSnapshot best_inflation = scheme->snapshot();
+    int best_iter = -1;
     int stall = 0;
     CongestionMap cmap;
     obj.set_lambda2_scale(cfg.dc_weight);
@@ -113,120 +198,467 @@ RoutabilityStats run_routability_stage(
         obj.set_lambda1(cfg.route_lambda1_boost * ratio);
     }
 
-    for (int outer = 0; outer < cfg.max_route_iters; ++outer) {
-        // 1. Congestion estimation on current positions -> map (Eq. 3):
-        //    a full global route (the paper) or RUDY (router-free).
-        if (cfg.use_rudy_congestion) {
-            cmap = rudy_congestion(d, grid, cfg.router);
-        } else {
-            const RouteResult rr = router.route(d);
-            cmap = rr.congestion;
-        }
-        stats.total_overflow.push_back(cmap.total_overflow());
-        // Keep the best-routed snapshot under the severity-weighted
-        // overflow (the quantity detailed-routing violations track): the
-        // stage must never end worse than it started.
-        const double severe = cmap.weighted_overflow();
-        if (severe < best_overflow * (1.0 - cfg.keep_best_margin)) {
-            best_overflow = severe;
-            best_pos = pos;
-        }
+    const double die_bound = die_wirelength_bound(d);
+    recover::StageCheckpoint ckpt;
+    std::vector<double> osc_window;  // severity per iter, divergence window
+    double last_wl = 0.0;            // last healthy WA total (explosion base)
+    bool use_ckpt_cmap = false;      // CorruptedDemand fallback, one-shot
 
-        // 3'. Dynamic pin-accessibility density adjustment (Eq. 13-15) is
-        //     refreshed first so its charge is known to the budget.
-        if (dpa) {
-            extra = dynamic_pg_density(rail_area, cmap);
-            grid_scale(extra, cfg.dpa_weight);
-            obj.set_extra_density(&extra);
-        }
+    int outer = 0;
 
-        // 2. Momentum-based (or baseline) cell inflation update, budgeted
-        //    (together with the PG charge) against the filler whitespace so
-        //    the density stays feasible.
-        scheme->update(d, cmap);
-        effective_ratios = scheme->ratios();
-        const double extra_area = grid_sum(extra);
-        budget_inflation(d, first_filler, effective_ratios,
-                         cfg.inflation_budget_frac, extra_area);
-        // Invariant audit: the budgeted ratios must balance — real-cell
-        // area growth inside the filler budget, uniform filler shrink.
-        if (audit_enabled())
-            audit::check_inflation_budget(d, first_filler, effective_ratios,
-                                          cfg.inflation_budget_frac,
-                                          extra_area);
-        {
-            double acc = 0.0;
-            int n = 0;
-            for (int ci : movable) {
-                if (ci >= first_filler) continue;
-                acc += effective_ratios[static_cast<size_t>(ci)];
-                ++n;
+    // Recovery ladder. Returns false once retries are exhausted: the loop
+    // then stops and the stage finishes on its best snapshot.
+    auto apply_recovery = [&](recover::FaultKind kind,
+                              const char* what) -> bool {
+        using recover::FaultKind;
+        if (!guard.allow_retry(kind, outer, what)) {
+            guard.degrade(kind, outer,
+                          "retries exhausted; finishing on the best"
+                          " snapshot");
+            return false;
+        }
+        switch (kind) {
+            case FaultKind::RouterNoProgress: {
+                // Relax the router capacity model: cheaper overflow and
+                // more effective tracks let the negotiation move again.
+                router_cfg.overflow_penalty *= cfg.recover.router_relax;
+                for (LayerSpec& l : router_cfg.layers)
+                    l.capacity /= cfg.recover.router_relax;
+                router = std::make_unique<GlobalRouter>(grid, router_cfg);
+                std::ostringstream oss;
+                oss << "overflow penalty -> " << router_cfg.overflow_penalty
+                    << ", capacity factors x"
+                    << 1.0 / cfg.recover.router_relax;
+                guard.record(kind, outer, "relax-router", oss.str());
+                break;
             }
-            stats.mean_inflation.push_back(n > 0 ? acc / n : 1.0);
+            case FaultKind::CorruptedDemand: {
+                // First retry re-routes (transient corruption); further
+                // ones fall back to the last-good checkpointed map.
+                if (guard.retries_used() > 1 && ckpt.valid() &&
+                    ckpt.cmap.demand().width() > 0) {
+                    use_ckpt_cmap = true;
+                    guard.record(kind, outer, "fallback-demand",
+                                 "using the last-good congestion map of"
+                                 " iteration " + std::to_string(ckpt.iter));
+                } else {
+                    guard.record(kind, outer, "reroute",
+                                 "re-running congestion estimation");
+                }
+                break;
+            }
+            case FaultKind::CorruptedBudget: {
+                if (ckpt.valid()) {
+                    effective_ratios = ckpt.ratios;
+                    scheme->restore(ckpt.inflation);
+                }
+                guard.record(kind, outer, "reset-inflation",
+                             "restored checkpoint inflation bookkeeping");
+                break;
+            }
+            default: {
+                // GradientNaN / HpwlExplosion / OverflowOscillation /
+                // AuditViolation: roll back to the checkpoint and damp the
+                // schedule that drove the divergence.
+                if (ckpt.valid()) {
+                    pos = ckpt.pos;
+                    for (size_t i = 0; i < movable.size(); ++i)
+                        d.cells[static_cast<size_t>(movable[i])].pos =
+                            pos[i];
+                    obj.set_lambda1(ckpt.lambda1);
+                    effective_ratios = ckpt.ratios;
+                    scheme->restore(ckpt.inflation);
+                }
+                nes_cfg.initial_step *= cfg.recover.step_shrink;
+                lambda1_growth =
+                    1.0 + (lambda1_growth - 1.0) * cfg.recover.lambda_tighten;
+                ++stats.recovery.rollbacks;
+                std::ostringstream oss;
+                oss << "restored checkpoint of outer iteration " << ckpt.iter
+                    << "; step x" << cfg.recover.step_shrink
+                    << ", lambda1 growth -> " << lambda1_growth;
+                guard.record(kind, outer, "rollback", oss.str());
+                if (guard.retries_used() >= cfg.recover.max_retries &&
+                    (dc || dpa)) {
+                    // Last rung: skip the optional congestion-directed
+                    // terms for the rest of the stage.
+                    dc = false;
+                    dpa = false;
+                    obj.set_congestion(nullptr, nullptr);
+                    extra = static_pg_density(rail_area,
+                                              cfg.static_pg_weight);
+                    obj.set_extra_density(&extra);
+                    guard.record(kind, outer, "skip-optional",
+                                 "disabled net-moving DC and DPA for the"
+                                 " rest of the stage");
+                }
+                break;
+            }
         }
+        return true;
+    };
 
-        // 4. Congestion potential field for the DC term (the bounding-box
-        //    baseline model needs only the map, not the field).
-        if (dc) {
-            obj.set_dc_model(cfg.use_bbox_dc_model ? DcModel::BoundingBox
-                                                   : DcModel::NetMoving);
-            if (!cfg.use_bbox_dc_model) field.build(cmap);
-            obj.set_congestion(
-                &cmap, cfg.use_bbox_dc_model ? nullptr : &field);
+    while (outer < cfg.max_route_iters) {
+        if (guard.over_budget(outer)) break;
+
+        // Checkpoint the outer boundary: pure copies of the state a
+        // rollback restores, captured only while recovery is active.
+        if (guard.active()) {
+            ckpt.iter = outer;
+            ckpt.pos = pos;
+            ckpt.lambda1 = obj.lambda1();
+            ckpt.ratios = effective_ratios;
+            ckpt.extra_area = grid_sum(extra);
+            ckpt.inflation = scheme->snapshot();
+            ckpt.cmap = cmap;  // last good map (empty before iteration 0)
+            ckpt.wirelength = last_wl;
         }
+        // Stats entries of a failed attempt are rolled back with it.
+        const size_t mark_overflow = stats.total_overflow.size();
+        const size_t mark_inflation = stats.mean_inflation.size();
+        const size_t mark_penalty = stats.penalty.size();
 
-        // 5. Inner Nesterov iterations on Eq. (5).
-        NesterovSolver solver(pos);
-        std::vector<Vec2> grad;
-        double penalty = 0.0;
-        for (int it = 0; it < cfg.inner_iters; ++it) {
-            const ObjectiveTerms terms =
-                obj.evaluate(d, movable, solver.reference(), grad);
-            penalty = terms.congestion;
-            solver.step(grad, project);
-            // Keep the ePlace lambda_1 schedule only while the density
-            // target is not met; once spread, wirelength/congestion lead.
-            if (terms.overflow > cfg.stop_overflow)
-                obj.set_lambda1(obj.lambda1() * cfg.lambda1_growth);
-        }
-        pos = solver.solution();
-        for (size_t i = 0; i < movable.size(); ++i)
-            d.cells[static_cast<size_t>(movable[i])].pos = pos[i];
-        stats.penalty.push_back(penalty);
-        ++stats.outer_iters;
+        try {
+            // 1. Congestion estimation on current positions -> map (Eq. 3):
+            //    a full global route (the paper) or RUDY (router-free).
+            int rrr_executed = 0;
+            int rrr_stalled = 0;
+            if (use_ckpt_cmap && ckpt.valid() &&
+                ckpt.cmap.demand().width() > 0) {
+                use_ckpt_cmap = false;
+                cmap = ckpt.cmap;
+            } else if (cfg.use_rudy_congestion) {
+                cmap = rudy_congestion(d, grid, cfg.router);
+            } else {
+                const RouteResult rr = router->route(d);
+                cmap = rr.congestion;
+                rrr_executed = rr.rrr_rounds_executed;
+                rrr_stalled = rr.rrr_rounds_stalled;
+            }
 
-        if (cfg.verbose) {
-            RDP_LOG_INFO() << "[route-iter " << outer << "] overflow="
-                           << cmap.total_overflow()
-                           << " C(x,y)=" << penalty
-                           << " inflation=" << stats.mean_inflation.back();
-        }
+            // Fault-injection sites (inert unless a matching spec is
+            // armed): the site corrupts its own state, detection below
+            // must catch it.
+            if (guard.active()) {
+                using recover::FaultKind;
+                namespace fault = recover::fault;
+                if (fault::fire(kStage, FaultKind::CorruptedDemand, outer)) {
+                    GridF dmd = cmap.demand();
+                    dmd.at(0, 0) =
+                        std::numeric_limits<double>::quiet_NaN();
+                    cmap = CongestionMap(grid, std::move(dmd),
+                                         cmap.capacity());
+                }
+                if (fault::fire(kStage, FaultKind::RouterNoProgress,
+                                outer)) {
+                    // Simulate the livelock symptom: absurd demand that
+                    // every RRR round failed to improve.
+                    GridF dmd = cmap.demand();
+                    grid_scale(dmd, 1e9);
+                    cmap = CongestionMap(grid, std::move(dmd),
+                                         cmap.capacity());
+                    rrr_executed = std::max(rrr_executed, 1);
+                    rrr_stalled = rrr_executed;
+                }
+                if (fault::fire(kStage, FaultKind::OverflowOscillation,
+                                outer) &&
+                    outer % 2 == 0) {
+                    // Every other iteration sees 64x demand: the overflow
+                    // window alternates huge/normal until detected.
+                    GridF dmd = cmap.demand();
+                    grid_scale(dmd, 64.0);
+                    cmap = CongestionMap(grid, std::move(dmd),
+                                         cmap.capacity());
+                }
+            }
 
-        // 6. Stop when the congestion metric no longer decreases
-        //    (paper: "until C(x,y) no longer decreases or the given number
-        //    of iterations is reached"). When DC is off the router overflow
-        //    serves as the metric.
-        const double metric = dc ? penalty : cmap.weighted_overflow();
-        if (metric < best_metric - 1e-9) {
-            best_metric = metric;
-            stall = 0;
-        } else if (++stall >= cfg.stop_patience) {
-            break;
+            // Divergence detection: corrupted demand. The auditor throws
+            // AuditFailure (classified below); when audits are off the
+            // recovery layer runs the same predicate itself.
+            audit::check_congestion_map(cmap);
+            if (guard.active() && !audit_enabled()) {
+                std::string msg;
+                if (find_invalid_gcell(cmap, msg))
+                    throw recover::RecoverableError(
+                        recover::FaultKind::CorruptedDemand, kStage, msg);
+            }
+
+            stats.total_overflow.push_back(cmap.total_overflow());
+            // Keep the best-routed snapshot under the severity-weighted
+            // overflow (the quantity detailed-routing violations track):
+            // the stage must never end worse than it started.
+            const double severe = cmap.weighted_overflow();
+
+            // Divergence detection: router livelock — every RRR round
+            // stalled while the overflow is beyond anything a healthy run
+            // produces.
+            if (guard.active() && rrr_executed > 0 &&
+                rrr_stalled == rrr_executed &&
+                severe > cfg.recover.router_livelock_overflow) {
+                std::ostringstream oss;
+                oss << "all " << rrr_executed
+                    << " RRR rounds stalled at weighted overflow " << severe;
+                throw recover::RecoverableError(
+                    recover::FaultKind::RouterNoProgress, kStage, oss.str());
+            }
+            // Divergence detection: outer-loop overflow oscillation.
+            if (guard.active()) {
+                osc_window.push_back(severe);
+                if (overflow_oscillates(osc_window, cfg.recover.osc_flips,
+                                        cfg.recover.osc_amplitude)) {
+                    std::ostringstream oss;
+                    oss << "weighted overflow alternated "
+                        << cfg.recover.osc_flips
+                        << " times (last " << severe << ")";
+                    throw recover::RecoverableError(
+                        recover::FaultKind::OverflowOscillation, kStage,
+                        oss.str());
+                }
+            }
+
+            if (severe < best_overflow * (1.0 - cfg.keep_best_margin)) {
+                best_overflow = severe;
+                best_pos = pos;
+                best_ratios = effective_ratios;
+                best_extra_area = grid_sum(extra);
+                best_inflation = scheme->snapshot();
+                best_iter = outer;
+            }
+
+            // 3'. Dynamic pin-accessibility density adjustment (Eq. 13-15)
+            //     is refreshed first so its charge is known to the budget.
+            if (dpa) {
+                extra = dynamic_pg_density(rail_area, cmap);
+                grid_scale(extra, cfg.dpa_weight);
+                obj.set_extra_density(&extra);
+            }
+
+            // 2. Momentum-based (or baseline) cell inflation update,
+            //    budgeted (together with the PG charge) against the filler
+            //    whitespace so the density stays feasible.
+            scheme->update(d, cmap);
+            effective_ratios = scheme->ratios();
+            const double extra_area = grid_sum(extra);
+            budget_inflation(d, first_filler, effective_ratios,
+                             cfg.inflation_budget_frac, extra_area);
+            if (guard.active() &&
+                recover::fault::fire(kStage,
+                                     recover::FaultKind::CorruptedBudget,
+                                     outer) &&
+                !effective_ratios.empty()) {
+                effective_ratios[0] = -1.0;
+            }
+            // Invariant audit: the budgeted ratios must balance —
+            // real-cell area growth inside the filler budget, uniform
+            // filler shrink.
+            if (audit_enabled())
+                audit::check_inflation_budget(d, first_filler,
+                                              effective_ratios,
+                                              cfg.inflation_budget_frac,
+                                              extra_area);
+            else if (guard.active()) {
+                for (size_t i = 0; i < effective_ratios.size(); ++i) {
+                    const double r = effective_ratios[i];
+                    if (std::isfinite(r) && r > 0.0) continue;
+                    std::ostringstream oss;
+                    oss << "inflation ratio of cell " << i
+                        << " is invalid: " << r;
+                    throw recover::RecoverableError(
+                        recover::FaultKind::CorruptedBudget, kStage,
+                        oss.str());
+                }
+            }
+            {
+                double acc = 0.0;
+                int n = 0;
+                for (int ci : movable) {
+                    if (ci >= first_filler) continue;
+                    acc += effective_ratios[static_cast<size_t>(ci)];
+                    ++n;
+                }
+                stats.mean_inflation.push_back(n > 0 ? acc / n : 1.0);
+            }
+
+            // 4. Congestion potential field for the DC term (the
+            //    bounding-box baseline model needs only the map, not the
+            //    field).
+            if (dc) {
+                obj.set_dc_model(cfg.use_bbox_dc_model
+                                     ? DcModel::BoundingBox
+                                     : DcModel::NetMoving);
+                if (!cfg.use_bbox_dc_model) field.build(cmap);
+                obj.set_congestion(
+                    &cmap, cfg.use_bbox_dc_model ? nullptr : &field);
+            }
+
+            // 5. Inner Nesterov iterations on Eq. (5).
+            NesterovSolver solver(pos, nes_cfg);
+            if (guard.active() &&
+                recover::fault::fire(kStage,
+                                     recover::FaultKind::HpwlExplosion,
+                                     outer)) {
+                // Fling the optimizer state far outside the die; the WA
+                // total blows past the explosion threshold next evaluate.
+                std::vector<Vec2> blown = pos;
+                const Vec2 c = d.region.center();
+                for (Vec2& p : blown)
+                    p = {c.x + (p.x - c.x) * 1e4, c.y + (p.y - c.y) * 1e4};
+                solver = NesterovSolver(std::move(blown), nes_cfg);
+            }
+            std::vector<Vec2> grad;
+            double penalty = 0.0;
+            double attempt_wl = last_wl;
+            for (int it = 0; it < cfg.inner_iters; ++it) {
+                const ObjectiveTerms terms =
+                    obj.evaluate(d, movable, solver.reference(), grad);
+                if (guard.active()) {
+                    if (it == 0 && !grad.empty() &&
+                        recover::fault::fire(
+                            kStage, recover::FaultKind::GradientNaN, outer))
+                        grad[0].x =
+                            std::numeric_limits<double>::quiet_NaN();
+                    // Catch non-finite gradients before they step: a NaN
+                    // position would poison every later evaluation (and
+                    // the grid index casts behind it).
+                    for (size_t gi = 0; gi < grad.size(); ++gi) {
+                        if (std::isfinite(grad[gi].x) &&
+                            std::isfinite(grad[gi].y))
+                            continue;
+                        std::ostringstream oss;
+                        oss << "non-finite gradient of slot " << gi
+                            << " at inner iteration " << it;
+                        throw recover::RecoverableError(
+                            recover::FaultKind::GradientNaN, kStage,
+                            oss.str());
+                    }
+                    // Divergence detection: non-finite objective terms
+                    // (NaN gradients poison the terms one step later) and
+                    // wirelength beyond k x the checkpoint / die bound.
+                    const double tsum = terms.wirelength + terms.density +
+                                        terms.congestion;
+                    if (!std::isfinite(tsum)) {
+                        std::ostringstream oss;
+                        oss << "non-finite objective terms at inner"
+                            << " iteration " << it;
+                        throw recover::RecoverableError(
+                            recover::FaultKind::GradientNaN, kStage,
+                            oss.str());
+                    }
+                    const double bound =
+                        cfg.recover.hpwl_explosion_factor *
+                        std::max(ckpt.wirelength, die_bound);
+                    if (terms.wirelength > bound) {
+                        std::ostringstream oss;
+                        oss << "WA wirelength " << terms.wirelength
+                            << " exceeds the explosion bound " << bound;
+                        throw recover::RecoverableError(
+                            recover::FaultKind::HpwlExplosion, kStage,
+                            oss.str());
+                    }
+                }
+                penalty = terms.congestion;
+                solver.step(grad, project);
+                // Keep the ePlace lambda_1 schedule only while the density
+                // target is not met; once spread, wirelength/congestion
+                // lead.
+                if (terms.overflow > cfg.stop_overflow)
+                    obj.set_lambda1(obj.lambda1() * lambda1_growth);
+                attempt_wl = terms.wirelength;
+            }
+            {
+                // Last line of defense before NaN positions reach the
+                // design: scan the solution once (observe-only).
+                const std::vector<Vec2>& sol = solver.solution();
+                if (guard.active()) {
+                    for (size_t i = 0; i < sol.size(); ++i) {
+                        if (std::isfinite(sol[i].x) &&
+                            std::isfinite(sol[i].y))
+                            continue;
+                        std::ostringstream oss;
+                        oss << "non-finite solution position of slot " << i;
+                        throw recover::RecoverableError(
+                            recover::FaultKind::GradientNaN, kStage,
+                            oss.str());
+                    }
+                }
+                pos = sol;
+            }
+            for (size_t i = 0; i < movable.size(); ++i)
+                d.cells[static_cast<size_t>(movable[i])].pos = pos[i];
+            last_wl = attempt_wl;
+            stats.penalty.push_back(penalty);
+            ++stats.outer_iters;
+
+            if (cfg.verbose) {
+                RDP_LOG_INFO() << "[route-iter " << outer << "] overflow="
+                               << cmap.total_overflow()
+                               << " C(x,y)=" << penalty
+                               << " inflation=" << stats.mean_inflation.back();
+            }
+
+            // 6. Stop when the congestion metric no longer decreases
+            //    (paper: "until C(x,y) no longer decreases or the given
+            //    number of iterations is reached"). When DC is off the
+            //    router overflow serves as the metric.
+            const double metric = dc ? penalty : cmap.weighted_overflow();
+            ++outer;
+            if (metric < best_metric - 1e-9) {
+                best_metric = metric;
+                stall = 0;
+            } else if (++stall >= cfg.stop_patience) {
+                break;
+            }
+            continue;
+        } catch (const recover::RecoverableError& e) {
+            stats.total_overflow.resize(mark_overflow);
+            stats.mean_inflation.resize(mark_inflation);
+            stats.penalty.resize(mark_penalty);
+            osc_window.clear();
+            if (!apply_recovery(e.kind(), e.what())) break;
+            continue;
+        } catch (const AuditFailure& e) {
+            if (!guard.active()) throw;
+            stats.total_overflow.resize(mark_overflow);
+            stats.mean_inflation.resize(mark_inflation);
+            stats.penalty.resize(mark_penalty);
+            osc_window.clear();
+            if (!apply_recovery(recover::classify_audit_failure(e),
+                                e.what()))
+                break;
+            continue;
         }
     }
 
-    // Score the final positions too, then restore the best snapshot seen.
+    // Score the final positions too, then restore the best snapshot seen —
+    // positions together with the inflation bookkeeping they were scored
+    // with (ratios, extra charge, scheme history), so downstream consumers
+    // never see a mixed state.
     {
         const double severe =
             cfg.use_rudy_congestion
                 ? rudy_congestion(d, grid, cfg.router).weighted_overflow()
-                : router.route(d).congestion.weighted_overflow();
+                : router->route(d).congestion.weighted_overflow();
         if (severe < best_overflow * (1.0 - cfg.keep_best_margin)) {
             best_overflow = severe;
             best_pos = pos;
+            best_ratios = effective_ratios;
+            best_extra_area = grid_sum(extra);
+            best_inflation = scheme->snapshot();
+            best_iter = stats.outer_iters;
         }
         for (size_t i = 0; i < movable.size(); ++i)
             d.cells[static_cast<size_t>(movable[i])].pos = best_pos[i];
+        effective_ratios = best_ratios;
+        scheme->restore(best_inflation);
+        stats.best_iter = best_iter;
+        stats.final_ratios = best_ratios;
+        stats.final_extra_area = best_extra_area;
+        // Re-audit the restored pairing: the bookkeeping must balance for
+        // the snapshot exactly as it did when the snapshot was scored.
+        if (audit_enabled())
+            audit::check_inflation_budget(d, first_filler, effective_ratios,
+                                          cfg.inflation_budget_frac,
+                                          best_extra_area);
     }
 
     // Detach caller-owned state before `extra`/`scheme` go out of scope.

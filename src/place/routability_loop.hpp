@@ -8,6 +8,7 @@
 #include "place/global_placer.hpp"
 #include "place/nesterov.hpp"
 #include "place/objective.hpp"
+#include "recover/recover.hpp"
 
 namespace rdp {
 
@@ -16,6 +17,17 @@ struct RoutabilityStats {
     std::vector<double> total_overflow;   ///< router overflow per outer iter
     std::vector<double> penalty;          ///< C(x, y) per outer iter
     std::vector<double> mean_inflation;   ///< mean ratio over movables
+    /// Outer iteration whose snapshot the stage restored at the end
+    /// (-1 = the entry state survived as best).
+    int best_iter = -1;
+    /// Inflation-budget bookkeeping restored together with the snapshot:
+    /// the effective ratios and the PG/DPA extra-area charge the restored
+    /// positions were actually scored with (not the last iteration's).
+    std::vector<double> final_ratios;
+    double final_extra_area = 0.0;
+    /// Recovery/degradation events of this stage (merged into
+    /// PlaceResult::recovery by GlobalPlacer).
+    recover::RecoveryReport recovery;
 };
 
 /// Run the routability-driven stage on a working design (fillers included;

@@ -1,0 +1,54 @@
+#pragma once
+// Copy-on-demand stage checkpoints (DESIGN.md §11). Captured at stage
+// boundaries of the guarded pipeline — cheap flat-vector copies of exactly
+// the state a rollback must restore:
+//   * movable-cell positions (the optimizer state; Nesterov momentum is
+//     deliberately NOT preserved — restarting the solver from the restored
+//     positions resets the momentum that drove the divergence),
+//   * the lambda_1 / gamma penalty schedule,
+//   * the budgeted inflation ratios, the PG/DPA extra-area charge they
+//     were budgeted against, and the inflation scheme's history
+//     (paired bookkeeping: positions are only ever restored together with
+//     the inflation state they were scored with),
+//   * the last-good router congestion map, so CorruptedDemand recovery can
+//     fall back to known-good demand instead of re-routing forever,
+//   * the metrics (wirelength, overflow) divergence detection compares
+//     against.
+//
+// Checkpoints are captured only when the recovery layer is active, and
+// capturing never mutates pipeline state — clean-run results stay bitwise
+// identical with the layer on or off.
+
+#include <vector>
+
+#include "grid/congestion_map.hpp"
+#include "inflation/momentum_inflation.hpp"
+#include "util/geometry.hpp"
+
+namespace rdp::recover {
+
+struct StageCheckpoint {
+    int iter = -1;  ///< stage-local iteration at capture (-1 = none yet)
+
+    std::vector<Vec2> pos;  ///< movable-cell positions
+
+    // Penalty schedule.
+    double lambda1 = 0.0;
+    double gamma = 0.0;
+
+    // Inflation bookkeeping (stage 2).
+    std::vector<double> ratios;  ///< budgeted effective ratios
+    double extra_area = 0.0;     ///< PG/DPA charge paired with `ratios`
+    InflationSnapshot inflation; ///< scheme history (momentum state)
+
+    // Last-good router state (stage 2).
+    CongestionMap cmap;
+
+    // Detection baselines.
+    double wirelength = 0.0;
+    double overflow = 0.0;
+
+    bool valid() const { return iter >= 0; }
+};
+
+}  // namespace rdp::recover

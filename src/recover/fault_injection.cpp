@@ -1,0 +1,111 @@
+#include "recover/fault_injection.hpp"
+
+#include <iostream>
+#include <vector>
+
+#include "util/env.hpp"
+
+namespace rdp::recover {
+
+namespace {
+
+std::string take_field(std::string& rest) {
+    const size_t colon = rest.find(':');
+    std::string field = rest.substr(0, colon);
+    rest = colon == std::string::npos ? std::string() : rest.substr(colon + 1);
+    return field;
+}
+
+}  // namespace
+
+std::optional<FaultSpec> parse_fault_spec(const std::string& text,
+                                          std::string* error) {
+    auto fail = [&](const std::string& msg) -> std::optional<FaultSpec> {
+        if (error != nullptr)
+            *error = msg + " (expected <stage>:<kind>:<iter>[:<count>], e.g. "
+                           "routability-gp:corrupted-demand:1)";
+        return std::nullopt;
+    };
+    std::string rest = text;
+    FaultSpec spec;
+    spec.stage = take_field(rest);
+    if (spec.stage.empty()) return fail("empty stage");
+    if (rest.empty()) return fail("missing fault kind");
+    const std::string kind = take_field(rest);
+    if (!parse_fault_kind(kind, spec.kind))
+        return fail("unknown fault kind '" + kind + "'");
+    if (rest.empty()) return fail("missing iteration");
+    const auto iter = env::parse_int(take_field(rest));
+    if (!iter || *iter < 0) return fail("iteration must be an integer >= 0");
+    spec.iter = static_cast<int>(*iter);
+    if (!rest.empty()) {
+        const auto count = env::parse_int(take_field(rest));
+        if (!count || *count < 1 || !rest.empty())
+            return fail("count must be an integer >= 1");
+        spec.count = static_cast<int>(*count);
+    }
+    return spec;
+}
+
+namespace fault {
+
+namespace {
+
+struct Harness {
+    std::optional<FaultSpec> spec;
+    /// First iteration that has not fired yet; a rolled-back (re-executed)
+    /// iteration below this mark stays clean so recovery can converge.
+    int next_unfired = 0;
+    int shots = 0;
+};
+
+Harness& harness() {
+    static Harness h = [] {
+        Harness init;
+        if (const auto text = env::raw("RDP_FAULT")) {
+            std::string err;
+            if (auto spec = parse_fault_spec(*text, &err)) {
+                init.spec = std::move(*spec);
+                init.next_unfired = init.spec->iter;
+            } else {
+                std::cerr << "[W] ignoring invalid RDP_FAULT='" << *text
+                          << "': " << err << "\n";
+            }
+        }
+        return init;
+    }();
+    return h;
+}
+
+}  // namespace
+
+void arm(const FaultSpec& spec) {
+    Harness& h = harness();
+    h.spec = spec;
+    h.next_unfired = spec.iter;
+    h.shots = 0;
+}
+
+void clear() {
+    Harness& h = harness();
+    h.spec.reset();
+    h.shots = 0;
+}
+
+bool armed() { return harness().spec.has_value(); }
+
+bool fire(const char* stage, FaultKind kind, int iter) {
+    Harness& h = harness();
+    if (!h.spec) return false;
+    const FaultSpec& s = *h.spec;
+    if (kind != s.kind || s.stage != stage) return false;
+    if (iter < h.next_unfired || iter >= s.iter + s.count) return false;
+    h.next_unfired = iter + 1;
+    ++h.shots;
+    return true;
+}
+
+int shots() { return harness().shots; }
+
+}  // namespace fault
+}  // namespace rdp::recover

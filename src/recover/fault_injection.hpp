@@ -1,0 +1,61 @@
+#pragma once
+// Deterministic fault-injection harness (DESIGN.md §11). A single armed
+// FaultSpec — from the RDP_FAULT environment variable or the programmatic
+// arm() hook — makes a chosen pipeline site corrupt its own state at a
+// chosen iteration, so every recovery path can be exercised in tests and
+// under the sanitizer matrix without randomness.
+//
+//   RDP_FAULT=<stage>:<kind>:<iter>[:<count>]
+//
+//   stage  guarded stage name: wirelength-gp, routability-gp, legalize
+//   kind   fault_kind_name() spelling, e.g. gradient-nan, corrupted-demand
+//   iter   stage-local iteration at which the site fires
+//   count  number of consecutive iterations the fault keeps firing
+//          (default 1; overflow-oscillation needs several)
+//
+// Each iteration in [iter, iter+count) fires at most once, even when the
+// recovery loop rolls back and re-executes it — otherwise a persistent
+// fault would defeat its own recovery and retries could never converge.
+// Injection sites call fire() which is a single branch when nothing is
+// armed; an unset RDP_FAULT costs nothing.
+//
+// The harness is process-global and driven from the serial orchestration
+// layer only (like AuditStageScope); it is not touched from worker threads.
+
+#include <optional>
+#include <string>
+
+#include "recover/recover.hpp"
+
+namespace rdp::recover {
+
+struct FaultSpec {
+    std::string stage;
+    FaultKind kind = FaultKind::GradientNaN;
+    int iter = 0;
+    int count = 1;
+};
+
+/// Parse "stage:kind:iter[:count]". On failure returns nullopt and, when
+/// `error` is non-null, a message naming the bad field and accepted form.
+std::optional<FaultSpec> parse_fault_spec(const std::string& text,
+                                          std::string* error = nullptr);
+
+namespace fault {
+
+/// Arm a fault programmatically (replaces any armed spec, including one
+/// loaded from RDP_FAULT). Resets the shot counters.
+void arm(const FaultSpec& spec);
+/// Disarm; subsequent fire() calls are inert (tests call this in SetUp).
+void clear();
+/// True when a spec is armed (loads RDP_FAULT lazily on first query).
+bool armed();
+/// True when the armed spec matches (stage, kind) and `iter` lies in
+/// [spec.iter, spec.iter + spec.count) and has not fired yet. The caller
+/// then corrupts its own state — the harness only schedules.
+bool fire(const char* stage, FaultKind kind, int iter);
+/// Total shots delivered since the last arm()/clear() (tests).
+int shots();
+
+}  // namespace fault
+}  // namespace rdp::recover

@@ -385,6 +385,7 @@ RouteResult GlobalRouter::route(const Design& d) const {
     std::vector<RoutePath> best_paths = paths;
     GridF best_dem_h = st.dem_h, best_dem_v = st.dem_v,
           best_bends = st.bend_vias;
+    int rounds_executed = 0, rounds_stalled = 0;
 
     for (int round = 0; round < cfg_.rrr_rounds; ++round) {
         // Grow history costs where utilization exceeds capacity. Elementwise
@@ -414,6 +415,7 @@ RouteResult GlobalRouter::route(const Design& d) const {
             },
             [](bool a, bool b) { return a || b; });
         if (!any_overflow) break;
+        ++rounds_executed;
         st.refresh_all_costs();
 
         for (int idx : order) {
@@ -449,6 +451,8 @@ RouteResult GlobalRouter::route(const Design& d) const {
             best_dem_h = st.dem_h;
             best_dem_v = st.dem_v;
             best_bends = st.bend_vias;
+        } else {
+            ++rounds_stalled;
         }
     }
     // Restore the best routing state seen across rounds.
@@ -484,6 +488,8 @@ RouteResult GlobalRouter::route(const Design& d) const {
     res.congestion = CongestionMap(grid_, std::move(dmd), std::move(cap));
     res.total_overflow = res.congestion.total_overflow();
     res.overflowed_gcells = res.congestion.overflowed_cells();
+    res.rrr_rounds_executed = rounds_executed;
+    res.rrr_rounds_stalled = rounds_stalled;
 
     // Routed wirelength: traversed G-cells scaled by pitch per direction.
     double wl = 0.0;

@@ -75,6 +75,12 @@ struct RouteResult {
     long long num_vias = 0;
     double total_overflow = 0.0;
     int overflowed_gcells = 0;
+    /// Executed rip-up-and-reroute rounds (rounds with no overflow left are
+    /// skipped) and how many of them failed to improve the best overflow.
+    /// stalled == executed with overflow remaining is the router-livelock
+    /// signal the recovery layer (src/recover) consumes.
+    int rrr_rounds_executed = 0;
+    int rrr_rounds_stalled = 0;
 };
 
 class GlobalRouter {

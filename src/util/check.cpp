@@ -1,7 +1,6 @@
 #include "util/check.hpp"
 
-#include <cstdlib>
-#include <cstring>
+#include "util/env.hpp"
 
 namespace rdp {
 
@@ -10,12 +9,12 @@ namespace {
 const char* g_stage = "?";
 
 #if RDP_AUDIT_COMPILED
-bool g_enabled = [] {
-    const char* env = std::getenv("RDP_AUDIT");
-    if (env == nullptr) return true;
-    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
-             std::strcmp(env, "false") == 0);
-}();
+// Function-local static: safe to query from other static initializers and
+// strict about the flag's spelling (garbage warns and keeps the default).
+bool& audit_flag() {
+    static bool enabled = env::flag_or("RDP_AUDIT", true);
+    return enabled;
+}
 #endif
 
 }  // namespace
@@ -28,8 +27,8 @@ AuditFailure::AuditFailure(std::string stage, std::string invariant,
       invariant_(std::move(invariant)) {}
 
 #if RDP_AUDIT_COMPILED
-bool audit_enabled() { return g_enabled; }
-void set_audit_enabled(bool on) { g_enabled = on; }
+bool audit_enabled() { return audit_flag(); }
+void set_audit_enabled(bool on) { audit_flag() = on; }
 #else
 bool audit_enabled() { return false; }
 void set_audit_enabled(bool) {}

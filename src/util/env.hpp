@@ -1,0 +1,41 @@
+#pragma once
+// Shared, strict environment-variable parsing. Every RDP_* knob goes
+// through this parser so garbage values are rejected the same way
+// everywhere: a malformed or out-of-range value logs one clear warning
+// naming the variable, the offending text, and the accepted form, and the
+// knob falls back to its documented default — never an atoi-style silent
+// zero, never a partially-consumed "8abc" -> 8.
+//
+// The parse_* functions are pure (exposed for tests); the *_or functions
+// read the process environment and apply the reject-with-message policy.
+
+#include <optional>
+#include <string>
+
+namespace rdp::env {
+
+/// Strict base-10 integer: the whole string (modulo surrounding
+/// whitespace) must be a valid integer. "8abc", "", "0x10" -> nullopt.
+std::optional<long long> parse_int(const std::string& text);
+
+/// Strict floating-point: the whole string must parse; NaN/inf rejected.
+std::optional<double> parse_double(const std::string& text);
+
+/// Boolean flag: 1/0, on/off, true/false, yes/no (case-insensitive).
+std::optional<bool> parse_flag(const std::string& text);
+
+/// Raw value of an environment variable (nullopt when unset).
+std::optional<std::string> raw(const char* name);
+
+/// Integer knob in [min_v, max_v]. Unset -> def. Malformed or
+/// out-of-range -> one warning + def.
+long long int_or(const char* name, long long def, long long min_v,
+                 long long max_v);
+
+/// Floating-point knob in [min_v, max_v]; same policy as int_or.
+double double_or(const char* name, double def, double min_v, double max_v);
+
+/// Boolean knob; same policy.
+bool flag_or(const char* name, bool def);
+
+}  // namespace rdp::env

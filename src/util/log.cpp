@@ -12,7 +12,10 @@ LogLevel g_level = [] {
     if (env == nullptr) return LogLevel::Info;
     if (std::strcmp(env, "error") == 0) return LogLevel::Error;
     if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+    if (std::strcmp(env, "info") == 0) return LogLevel::Info;
     if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+    std::cerr << "[W] ignoring invalid RDP_LOG='" << env
+              << "' (expected error|warn|info|debug); using the default\n";
     return LogLevel::Info;
 }();
 

@@ -4,9 +4,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <cstdlib>
 #include <mutex>
 #include <thread>
+
+#include "util/env.hpp"
 
 namespace rdp {
 namespace par {
@@ -14,13 +15,11 @@ namespace par {
 namespace {
 
 int read_env_threads() {
-    if (const char* s = std::getenv("RDP_THREADS")) {
-        char* end = nullptr;
-        const long v = std::strtol(s, &end, 10);
-        if (end != s && v >= 1 && v <= 1024) return static_cast<int>(v);
-    }
     const unsigned hc = std::thread::hardware_concurrency();
-    return hc >= 1 ? static_cast<int>(hc) : 1;
+    const int def = hc >= 1 ? static_cast<int>(hc) : 1;
+    // Strict parse: "8abc" or out-of-range values warn and fall back to
+    // the hardware default instead of being silently truncated.
+    return static_cast<int>(env::int_or("RDP_THREADS", def, 1, 1024));
 }
 
 std::atomic<int> g_max_threads{0};  // 0 = not initialized yet

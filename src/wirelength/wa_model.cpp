@@ -67,6 +67,9 @@ WirelengthResult WAWirelength::evaluate(const Design& d) const {
     WirelengthResult res;
     const size_t num_cells = static_cast<size_t>(d.num_cells());
     res.cell_grad.assign(num_cells, Vec2{});
+    // No nets: run_chunks would never invoke the chunk body, leaving the
+    // per-chunk accumulators unallocated for the merge below.
+    if (d.nets.empty()) return res;
 
     // Parallel over nets. Each chunk owns a full-size gradient accumulator
     // (bounded by max_chunks = 16) plus a scalar total; partials are merged

@@ -56,10 +56,10 @@ PlacerConfig fast_cfg() {
 
 TEST_F(AuditTest, RegistryListsAllAuditors) {
     const auto& reg = audit::registered_auditors();
-    ASSERT_EQ(reg.size(), 5u);
+    ASSERT_EQ(reg.size(), 6u);
     const char* expected[] = {"finite-gradients", "density-mass",
-                              "router-accounting", "inflation-budget",
-                              "legalized"};
+                              "router-accounting", "congestion-finite",
+                              "inflation-budget", "legalized"};
     for (const char* name : expected) {
         bool found = false;
         for (const auto& info : reg) found |= std::string(info.name) == name;
