@@ -5,14 +5,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "benchgen/generator.hpp"
 #include "congestion/net_moving.hpp"
+#include "congestion/rudy.hpp"
 #include "density/electro_density.hpp"
 #include "fft/dct.hpp"
 #include "fft/fft.hpp"
 #include "poisson/poisson.hpp"
 #include "router/global_router.hpp"
+#include "router/incremental.hpp"
 #include "router/net_decompose.hpp"
+#include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "wirelength/wa_model.hpp"
@@ -127,6 +134,227 @@ void BM_NetMovingGradient(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_NetMovingGradient)->Arg(1000)->Arg(4000);
+
+// --- Incremental congestion-estimation benchmarks ------------------------
+// Full-vs-incremental pairs emulating the routability loop's converged
+// tail, where the incremental cache earns its keep: most outer iterations
+// late in the loop move only a handful of cells (early iterations change
+// everything and are full rebuilds in either mode, so they measure the
+// same code). The generator scatters cells uniformly, which no mid-loop
+// placement looks like, so the scenario first pulls each connectivity
+// cluster together geometrically — the state a wirelength-driven
+// placement has long reached by the time the outer loop converges. Two
+// placement snapshots a handful of cells apart are then alternated every
+// iteration, so each call sees a fresh "moved since last time" delta and
+// the perturbed nets flip back and forth. Audits are disabled for both
+// sides of each pair: the incremental-route reconciliation auditor
+// recomputes demand from scratch on every call, which would measure the
+// audit, not the cache.
+
+/// Pull the generator's index-contiguous connectivity clusters together
+/// on a cluster grid (emulates a converged placement; without this every
+/// net spans a large fraction of the die and no estimator delta is ever
+/// local). Matches GeneratorConfig::cluster_size's default.
+void clusterize(Design& d, int cluster_size = 24) {
+    std::vector<int> movable;
+    for (int i = 0; i < d.num_cells(); ++i)
+        if (d.cells[static_cast<size_t>(i)].movable()) movable.push_back(i);
+    const int nc = (static_cast<int>(movable.size()) + cluster_size - 1) /
+                   cluster_size;
+    const int side = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(nc))));
+    Rng rng(99);
+    const double cw = d.region.width() / side;
+    const double ch = d.region.height() / side;
+    for (int c = 0; c < nc; ++c) {
+        const double cx = d.region.lx + (c % side + 0.5) * cw;
+        const double cy = d.region.ly + (c / side + 0.5) * ch;
+        const int lo = c * cluster_size;
+        const int hi = std::min((c + 1) * cluster_size,
+                                static_cast<int>(movable.size()));
+        for (int k = lo; k < hi; ++k) {
+            Cell& cell = d.cells[static_cast<size_t>(movable[
+                static_cast<size_t>(k)])];
+            cell.pos = {std::clamp(cx + rng.uniform(-cw, cw) * 0.45,
+                                   d.region.lx, d.region.hx),
+                        std::clamp(cy + rng.uniform(-ch, ch) * 0.45,
+                                   d.region.ly, d.region.hy)};
+        }
+    }
+}
+
+/// Two placement snapshots of one clusterized design, `moves` cells
+/// apart, with O(cells) switching between them. `local_only` restricts
+/// the moved cells to ones whose nets all stay within `local_extent` of
+/// the die (the regime of the paper's local congestion mitigation: a net
+/// with a die-crossing escape pin invalidates a die-sized region by
+/// construction, in which case an exact incremental update rightly
+/// degenerates to a full one).
+struct LoopScenario {
+    Design d;
+    std::vector<Vec2> pos_a, pos_b;
+
+    explicit LoopScenario(int cells, int moves = 8, bool local_only = false,
+                          double local_extent = 0.125)
+        : d(bench_design(cells)) {
+        clusterize(d);
+        pos_a.resize(d.cells.size());
+        for (size_t i = 0; i < d.cells.size(); ++i) pos_a[i] = d.cells[i].pos;
+        pos_b = pos_a;
+        std::vector<unsigned char> global_cell(d.cells.size(), 0);
+        if (local_only) {
+            const double mx = local_extent * d.region.width();
+            const double my = local_extent * d.region.height();
+            for (const Net& net : d.nets) {
+                if (net.pins.empty()) continue;
+                Vec2 lo = d.pin_position(net.pins.front());
+                Vec2 hi = lo;
+                for (int p : net.pins) {
+                    const Vec2 pp = d.pin_position(p);
+                    lo = {std::min(lo.x, pp.x), std::min(lo.y, pp.y)};
+                    hi = {std::max(hi.x, pp.x), std::max(hi.y, pp.y)};
+                }
+                if (hi.x - lo.x <= mx && hi.y - lo.y <= my) continue;
+                for (int p : net.pins)
+                    global_cell[static_cast<size_t>(
+                        d.pins[static_cast<size_t>(p)].cell)] = 1;
+            }
+        }
+        std::vector<int> movable;
+        for (int i = 0; i < d.num_cells(); ++i)
+            if (d.cells[static_cast<size_t>(i)].movable() &&
+                !global_cell[static_cast<size_t>(i)])
+                movable.push_back(i);
+        Rng rng(17);
+        const double dx = 0.02 * d.region.width();
+        const double dy = 0.02 * d.region.height();
+        for (int k = 0; k < moves; ++k) {
+            const size_t ci = static_cast<size_t>(movable[static_cast<size_t>(
+                rng.uniform_int(0, static_cast<int>(movable.size()) - 1))]);
+            pos_b[ci] = {std::clamp(pos_a[ci].x + rng.uniform(-dx, dx),
+                                    d.region.lx, d.region.hx),
+                         std::clamp(pos_a[ci].y + rng.uniform(-dy, dy),
+                                    d.region.ly, d.region.hy)};
+        }
+    }
+
+    void apply(bool b) {
+        const std::vector<Vec2>& p = b ? pos_b : pos_a;
+        for (size_t i = 0; i < d.cells.size(); ++i) d.cells[i].pos = p[i];
+    }
+};
+
+/// Disables runtime audits for one benchmark run, restoring them after.
+struct AuditOffGuard {
+    bool saved = audit_enabled();
+    AuditOffGuard() { set_audit_enabled(false); }
+    ~AuditOffGuard() { set_audit_enabled(saved); }
+};
+
+/// One-RRR-round router config with layer capacities scaled so the
+/// clusterized synthetic is routable (near-zero overflow), as the loop's
+/// inflation has achieved by its converged tail. At the generator's raw
+/// density the maze fallback grinds through a hopeless 20k+-overflow map
+/// for ~1s per round in *both* modes, hiding everything else under a
+/// constant.
+RouterConfig loop_router_config() {
+    RouterConfig cfg;
+    cfg.rrr_rounds = 1;
+    for (LayerSpec& l : cfg.layers) l.capacity *= 4.0;
+    return cfg;
+}
+
+void BM_RoutabilityLoopRouteFull(benchmark::State& state) {
+    AuditOffGuard audits;
+    LoopScenario sc(static_cast<int>(state.range(0)));
+    const BinGrid grid(sc.d.region, 64, 64);
+    const GlobalRouter router(grid, loop_router_config());
+    bool flip = false;
+    for (auto _ : state) {
+        sc.apply(flip);
+        flip = !flip;
+        auto rr = router.route(sc.d);
+        benchmark::DoNotOptimize(rr.total_overflow);
+    }
+}
+BENCHMARK(BM_RoutabilityLoopRouteFull)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RoutabilityLoopRouteIncremental(benchmark::State& state) {
+    AuditOffGuard audits;
+    LoopScenario sc(static_cast<int>(state.range(0)));
+    const BinGrid grid(sc.d.region, 64, 64);
+    const GlobalRouter router(grid, loop_router_config());
+    IncrementalRouteState inc;
+    inc.rebuild_epoch = 0;  // measure steady-state cache reuse
+    sc.apply(false);
+    (void)router.route(sc.d, &inc);  // warm the cache outside the timing
+    const IncrementalRouteStats warm = inc.stats;
+    bool flip = true;
+    for (auto _ : state) {
+        sc.apply(flip);
+        flip = !flip;
+        auto rr = router.route(sc.d, &inc);
+        benchmark::DoNotOptimize(rr.total_overflow);
+    }
+    const long long calls = inc.stats.calls - warm.calls;
+    const long long total = inc.stats.conns_total - warm.conns_total;
+    const long long hits = inc.stats.cache_hits - warm.cache_hits;
+    const long long rerouted = inc.stats.conns_rerouted - warm.conns_rerouted;
+    const long long nets = inc.stats.nets_rerouted - warm.nets_rerouted;
+    state.counters["cache_hit_rate"] =
+        total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                  : 0.0;
+    state.counters["conns_rerouted_per_iter"] =
+        calls > 0 ? static_cast<double>(rerouted) / static_cast<double>(calls)
+                  : 0.0;
+    state.counters["nets_rerouted_per_iter"] =
+        calls > 0 ? static_cast<double>(nets) / static_cast<double>(calls)
+                  : 0.0;
+}
+BENCHMARK(BM_RoutabilityLoopRouteIncremental)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RudyCongestionFull(benchmark::State& state) {
+    AuditOffGuard audits;
+    LoopScenario sc(static_cast<int>(state.range(0)), 8, true);
+    const BinGrid grid(sc.d.region, 64, 64);
+    bool flip = false;
+    for (auto _ : state) {
+        sc.apply(flip);
+        flip = !flip;
+        auto cmap = rudy_congestion(sc.d, grid);
+        benchmark::DoNotOptimize(cmap.demand().data());
+    }
+}
+BENCHMARK(BM_RudyCongestionFull)->Arg(4000)->Arg(16000);
+
+void BM_RudyCongestionIncremental(benchmark::State& state) {
+    AuditOffGuard audits;
+    LoopScenario sc(static_cast<int>(state.range(0)), 8, true);
+    const BinGrid grid(sc.d.region, 64, 64);
+    IncrementalRudyState inc;
+    sc.apply(false);
+    (void)rudy_congestion(sc.d, grid, {}, {}, &inc);  // warm
+    const IncrementalRudyStats warm = inc.stats;
+    bool flip = true;
+    for (auto _ : state) {
+        sc.apply(flip);
+        flip = !flip;
+        auto cmap = rudy_congestion(sc.d, grid, {}, {}, &inc);
+        benchmark::DoNotOptimize(cmap.demand().data());
+    }
+    const long long calls = inc.stats.calls - warm.calls;
+    const long long bins = inc.stats.bins_recomputed - warm.bins_recomputed;
+    state.counters["bins_recomputed_per_iter"] =
+        calls > 0 ? static_cast<double>(bins) / static_cast<double>(calls)
+                  : 0.0;
+}
+BENCHMARK(BM_RudyCongestionIncremental)->Arg(4000)->Arg(16000);
 
 // --- Thread-scaling benchmarks -------------------------------------------
 // The parallel execution layer guarantees bitwise-identical results for any

@@ -2,8 +2,25 @@
 # Regenerates every paper table/figure plus the design-choice ablations.
 # RDP_SCALE shrinks the synthetic suite uniformly; the *ratios* the paper
 # reports are scale-stable (see EXPERIMENTS.md).
+#
+# `run_benches.sh --json` instead runs only the router / routability-loop
+# microbenchmarks and writes BENCH_router.json (google-benchmark JSON:
+# wall clocks plus the cache_hit_rate / conns_rerouted_per_iter /
+# nets_rerouted_per_iter / bins_recomputed_per_iter counters), so the
+# incremental-routing perf trajectory is machine-trackable across PRs.
 export RDP_SCALE=${RDP_SCALE:-0.5}
 cd "$(dirname "$0")"
+
+if [ "$1" = "--json" ]; then
+  echo "=== rdplace router bench (JSON -> BENCH_router.json) ==="
+  ./build/bench/micro_kernels \
+    --benchmark_filter='GlobalRoute|RouterRrrRoundThreads|RoutabilityLoopRoute|RudyCongestion' \
+    --benchmark_min_time=0.2 \
+    --benchmark_out=BENCH_router.json --benchmark_out_format=json \
+    2>/dev/null
+  exit $?
+fi
+
 echo "=== rdplace bench run (RDP_SCALE=$RDP_SCALE) ==="
 for b in table1_main table2_ablation fig1_congestion_decomposition \
          fig3_net_moving_geometry fig4_pg_rail_selection \

@@ -7,6 +7,9 @@
 #   3. clang-tidy        over src/ via the exported compile_commands.json
 #   4. sanitizer matrix  address, undefined, address;undefined -> ctest -L sanitize
 #                        thread                                -> ctest -L parallel
+#                        plus explicit ASan+UBSan passes: ctest -L recover
+#                        (fault injection) and RDP_INCREMENTAL=1 ctest -L
+#                        router (persistent route/RUDY caches forced on)
 #
 # Any failing step fails the script (non-zero exit). Tools missing from the
 # host (clang-format / clang-tidy) skip their step with a notice so the
@@ -60,6 +63,7 @@ if cmake -B build-checks -S . -DRDP_WERROR=ON >/dev/null &&
     require_label build-checks sanitize
     require_label build-checks parallel
     require_label build-checks recover
+    require_label build-checks router
     if ! ctest --test-dir build-checks --output-on-failure -j "$JOBS"; then
         record_failure "default ctest"
     fi
@@ -113,6 +117,17 @@ if [[ "$FAST" == 0 ]]; then
         if ! ctest --test-dir build-san-address-undefined -L recover \
                    --output-on-failure -j "$JOBS"; then
             record_failure "fault injection (asan+ubsan)"
+        fi
+    fi
+
+    # Incremental routing under ASan+UBSan: the persistent route/RUDY
+    # caches (rip-up/commit deltas, dirty-bin recompute, rebuild epochs)
+    # must be memory- and UB-clean with the cache path forced on.
+    note "incremental routing under ASan+UBSan (RDP_INCREMENTAL=1 ctest -L router)"
+    if require_label build-san-address-undefined router; then
+        if ! RDP_INCREMENTAL=1 ctest --test-dir build-san-address-undefined \
+                   -L router --output-on-failure -j "$JOBS"; then
+            record_failure "incremental routing (asan+ubsan)"
         fi
     fi
 

@@ -9,7 +9,7 @@ namespace rdp::audit {
 
 namespace {
 
-constexpr size_t kNumAuditors = 6;
+constexpr size_t kNumAuditors = 7;
 
 constexpr std::array<AuditorInfo, kNumAuditors> kAuditors = {{
     {"finite-gradients",
@@ -18,6 +18,8 @@ constexpr std::array<AuditorInfo, kNumAuditors> kAuditors = {{
      "density-grid mass equals total clipped movable+fixed charge"},
     {"router-accounting",
      "edge demand equals committed route segments; history costs >= 0"},
+    {"incremental-route",
+     "delta-maintained phase-A demand equals a from-scratch recompute"},
     {"congestion-finite",
      "congestion-map demand and capacity are finite and non-negative"},
     {"inflation-budget",
@@ -40,6 +42,48 @@ void note_run(std::string_view name) {
 
 [[noreturn]] void fail(const char* auditor, const std::string& msg) {
     detail::audit_fail(auditor, msg);
+}
+
+/// Shared by router-accounting and incremental-route: recompute wire demand
+/// and bend vias from the committed paths with the same unit increments
+/// RouteState::commit applies; integer-valued sums in double are exact, so
+/// the comparison is exact equality.
+void check_demand_matches_paths(const char* auditor, const GridF& dem_h,
+                                const GridF& dem_v, const GridF& bend_vias,
+                                const std::vector<RoutePath>& paths) {
+    GridF ref_h(dem_h.width(), dem_h.height());
+    GridF ref_v(dem_v.width(), dem_v.height());
+    GridF ref_b(bend_vias.width(), bend_vias.height());
+    for (const RoutePath& p : paths) {
+        for (const RouteSeg& s : p.segs) {
+            if (s.horizontal()) {
+                const int lo = std::min(s.x0, s.x1), hi = std::max(s.x0, s.x1);
+                for (int x = lo; x <= hi; ++x) ref_h.at(x, s.y0) += 1.0;
+            } else {
+                const int lo = std::min(s.y0, s.y1), hi = std::max(s.y0, s.y1);
+                for (int y = lo; y <= hi; ++y) ref_v.at(s.x0, y) += 1.0;
+            }
+        }
+        for (size_t i = 0; i + 1 < p.segs.size(); ++i)
+            ref_b.at(p.segs[i].x1, p.segs[i].y1) += 1.0;
+    }
+
+    auto compare = [auditor](const GridF& got, const GridF& want,
+                             const char* map) {
+        for (int y = 0; y < got.height(); ++y) {
+            for (int x = 0; x < got.width(); ++x) {
+                if (got.at(x, y) == want.at(x, y)) continue;
+                std::ostringstream oss;
+                oss << map << " demand at G-cell (" << x << ", " << y << ") is "
+                    << got.at(x, y) << " but the committed route segments sum"
+                    << " to " << want.at(x, y);
+                fail(auditor, oss.str());
+            }
+        }
+    };
+    compare(dem_h, ref_h, "horizontal");
+    compare(dem_v, ref_v, "vertical");
+    compare(bend_vias, ref_b, "bend-via");
 }
 
 }  // namespace
@@ -90,41 +134,8 @@ void check_router_accounting(const GridF& dem_h, const GridF& dem_v,
     if (!audit_enabled()) return;
     note_run("router-accounting");
 
-    // Recompute wire demand and bend vias from the committed paths with the
-    // same unit increments RouteState::commit applies; integer-valued sums
-    // in double are exact, so the comparison is exact equality.
-    GridF ref_h(dem_h.width(), dem_h.height());
-    GridF ref_v(dem_v.width(), dem_v.height());
-    GridF ref_b(bend_vias.width(), bend_vias.height());
-    for (const RoutePath& p : paths) {
-        for (const RouteSeg& s : p.segs) {
-            if (s.horizontal()) {
-                const int lo = std::min(s.x0, s.x1), hi = std::max(s.x0, s.x1);
-                for (int x = lo; x <= hi; ++x) ref_h.at(x, s.y0) += 1.0;
-            } else {
-                const int lo = std::min(s.y0, s.y1), hi = std::max(s.y0, s.y1);
-                for (int y = lo; y <= hi; ++y) ref_v.at(s.x0, y) += 1.0;
-            }
-        }
-        for (size_t i = 0; i + 1 < p.segs.size(); ++i)
-            ref_b.at(p.segs[i].x1, p.segs[i].y1) += 1.0;
-    }
-
-    auto compare = [](const GridF& got, const GridF& want, const char* map) {
-        for (int y = 0; y < got.height(); ++y) {
-            for (int x = 0; x < got.width(); ++x) {
-                if (got.at(x, y) == want.at(x, y)) continue;
-                std::ostringstream oss;
-                oss << map << " demand at G-cell (" << x << ", " << y << ") is "
-                    << got.at(x, y) << " but the committed route segments sum"
-                    << " to " << want.at(x, y);
-                fail("router-accounting", oss.str());
-            }
-        }
-    };
-    compare(dem_h, ref_h, "horizontal");
-    compare(dem_v, ref_v, "vertical");
-    compare(bend_vias, ref_b, "bend-via");
+    check_demand_matches_paths("router-accounting", dem_h, dem_v, bend_vias,
+                               paths);
 
     auto nonneg = [](const GridF& hist, const char* map) {
         for (int y = 0; y < hist.height(); ++y) {
@@ -139,6 +150,15 @@ void check_router_accounting(const GridF& dem_h, const GridF& dem_v,
     };
     nonneg(hist_h, "horizontal");
     nonneg(hist_v, "vertical");
+}
+
+void check_incremental_route(const GridF& dem_h, const GridF& dem_v,
+                             const GridF& bend_vias,
+                             const std::vector<RoutePath>& paths) {
+    if (!audit_enabled()) return;
+    note_run("incremental-route");
+    check_demand_matches_paths("incremental-route", dem_h, dem_v, bend_vias,
+                               paths);
 }
 
 void check_congestion_map(const CongestionMap& cmap) {

@@ -20,6 +20,11 @@
 //                      routability loop has finite, non-negative demand and
 //                      capacity everywhere (checked on every fresh map,
 //                      router-produced or RUDY-estimated).
+//   incremental-route  the delta-maintained phase-A demand of the
+//                      incremental router equals a from-scratch recompute
+//                      over the cached per-net routes exactly (checked
+//                      after every cache reconciliation; catches stale or
+//                      corrupted incremental state).
 //   inflation-budget   after budgeting, inflated-area bookkeeping balances:
 //                      every ratio is finite and positive, real-cell area
 //                      growth stays within the filler-area budget net of
@@ -74,6 +79,14 @@ void check_router_accounting(const GridF& dem_h, const GridF& dem_v,
                              const GridF& bend_vias,
                              const std::vector<RoutePath>& paths,
                              const GridF& hist_h, const GridF& hist_v);
+
+/// Cross-checks the incremental router's delta-maintained demand against a
+/// from-scratch recompute over the cached routes (same exact-equality
+/// recompute as check_router_accounting, without the history-cost clause —
+/// phase-A state carries no history).
+void check_incremental_route(const GridF& dem_h, const GridF& dem_v,
+                             const GridF& bend_vias,
+                             const std::vector<RoutePath>& paths);
 
 /// Finite, non-negative demand and capacity in every G-cell of `cmap`.
 void check_congestion_map(const CongestionMap& cmap);

@@ -40,24 +40,35 @@ public:
     /// Accumulate `scale` * (overlap area of r with each bin) into g.
     void splat_area(GridF& g, const Rect& r, double scale = 1.0) const;
 
+    /// Inclusive bin-index span [x0, x1] x [y0, y1] of the bins r (clipped
+    /// to the region) can overlap; false when the clipped rect is empty.
+    /// The single source of truth for rect -> bin-range mapping, shared by
+    /// for_each_overlap and the incremental-RUDY dirty-span queries.
+    bool bin_span(const Rect& r, int& x0, int& y0, int& x1, int& y1) const {
+        const Rect c = r.intersect(region_);
+        if (c.empty()) return false;
+        x0 = std::clamp(
+            static_cast<int>(std::floor((c.lx - region_.lx) / bin_w_)), 0,
+            nx_ - 1);
+        x1 = std::clamp(
+            static_cast<int>(std::floor((c.hx - region_.lx) / bin_w_)), 0,
+            nx_ - 1);
+        y0 = std::clamp(
+            static_cast<int>(std::floor((c.ly - region_.ly) / bin_h_)), 0,
+            ny_ - 1);
+        y1 = std::clamp(
+            static_cast<int>(std::floor((c.hy - region_.ly) / bin_h_)), 0,
+            ny_ - 1);
+        return true;
+    }
+
     /// Visit every bin overlapping r (clipped to the region) with the
     /// overlap area: fn(ix, iy, area). The adjoint of splat_area.
     template <typename Fn>
     void for_each_overlap(const Rect& r, Fn&& fn) const {
         const Rect c = r.intersect(region_);
-        if (c.empty()) return;
-        const int x0 = std::clamp(
-            static_cast<int>(std::floor((c.lx - region_.lx) / bin_w_)), 0,
-            nx_ - 1);
-        const int x1 = std::clamp(
-            static_cast<int>(std::floor((c.hx - region_.lx) / bin_w_)), 0,
-            nx_ - 1);
-        const int y0 = std::clamp(
-            static_cast<int>(std::floor((c.ly - region_.ly) / bin_h_)), 0,
-            ny_ - 1);
-        const int y1 = std::clamp(
-            static_cast<int>(std::floor((c.hy - region_.ly) / bin_h_)), 0,
-            ny_ - 1);
+        int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+        if (!bin_span(r, x0, y0, x1, y1)) return;
         for (int iy = y0; iy <= y1; ++iy) {
             for (int ix = x0; ix <= x1; ++ix) {
                 const double a = c.overlap_area(bin_box(ix, iy));

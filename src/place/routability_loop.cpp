@@ -13,6 +13,7 @@
 #include "recover/checkpoint.hpp"
 #include "recover/fault_injection.hpp"
 #include "recover/stage_guard.hpp"
+#include "util/env.hpp"
 #include "util/log.hpp"
 
 namespace rdp {
@@ -143,6 +144,19 @@ RoutabilityStats run_routability_stage(
     RouterConfig router_cfg = cfg.router;
     auto router = std::make_unique<GlobalRouter>(grid, router_cfg);
     NesterovConfig nes_cfg;
+
+    // Incremental congestion estimation (RDP_INCREMENTAL, default on):
+    // persistent router / RUDY caches threaded through every estimation of
+    // this stage. Pure performance: route(d, &state) and the incremental
+    // RUDY maps are bitwise identical to their from-scratch counterparts,
+    // so the knob changes wall clock only, never results. RDP_REBUILD_EPOCH
+    // bounds cache lifetime with a deterministic periodic full rebuild
+    // (0 disables the epoch; see DESIGN.md §12).
+    const bool incremental = env::flag_or("RDP_INCREMENTAL", true);
+    IncrementalRouteState inc_route;
+    inc_route.rebuild_epoch = static_cast<int>(
+        env::int_or("RDP_REBUILD_EPOCH", 16, 0, 1 << 20));
+    IncrementalRudyState inc_rudy;
     double lambda1_growth = cfg.lambda1_growth;
 
     CongestionField field(grid);
@@ -225,6 +239,10 @@ RoutabilityStats run_routability_stage(
                 for (LayerSpec& l : router_cfg.layers)
                     l.capacity /= cfg.recover.router_relax;
                 router = std::make_unique<GlobalRouter>(grid, router_cfg);
+                // The relaxed config changes the cached routes' cost model;
+                // the config key would force the rebuild anyway, but drop
+                // the cache explicitly.
+                inc_route.invalidate();
                 std::ostringstream oss;
                 oss << "overflow penalty -> " << router_cfg.overflow_penalty
                     << ", capacity factors x"
@@ -233,6 +251,11 @@ RoutabilityStats run_routability_stage(
                 break;
             }
             case FaultKind::CorruptedDemand: {
+                // The corruption may live in the persistent incremental
+                // caches (that is exactly what the incremental-route
+                // auditor detects), so the retry must never reuse them.
+                inc_route.invalidate();
+                inc_rudy.invalidate();
                 // First retry re-routes (transient corruption); further
                 // ones fall back to the last-good checkpointed map.
                 if (guard.retries_used() > 1 && ckpt.valid() &&
@@ -259,7 +282,11 @@ RoutabilityStats run_routability_stage(
             default: {
                 // GradientNaN / HpwlExplosion / OverflowOscillation /
                 // AuditViolation: roll back to the checkpoint and damp the
-                // schedule that drove the divergence.
+                // schedule that drove the divergence. The incremental
+                // caches were reconciled against the *failed* positions;
+                // a restored checkpoint must never be scored against them.
+                inc_route.invalidate();
+                inc_rudy.invalidate();
                 if (ckpt.valid()) {
                     pos = ckpt.pos;
                     for (size_t i = 0; i < movable.size(); ++i)
@@ -328,12 +355,28 @@ RoutabilityStats run_routability_stage(
                 use_ckpt_cmap = false;
                 cmap = ckpt.cmap;
             } else if (cfg.use_rudy_congestion) {
-                cmap = rudy_congestion(d, grid, cfg.router);
+                cmap = rudy_congestion(d, grid, cfg.router, {},
+                                       incremental ? &inc_rudy : nullptr);
             } else {
-                const RouteResult rr = router->route(d);
+                const RouteResult rr =
+                    router->route(d, incremental ? &inc_route : nullptr);
                 cmap = rr.congestion;
                 rrr_executed = rr.rrr_rounds_executed;
                 rrr_stalled = rr.rrr_rounds_stalled;
+                stats.route_conns_total += rr.inc_conns_total;
+                stats.route_conns_rerouted += rr.inc_conns_rerouted;
+                // Fault-injection site (stage "global-route", distinct
+                // from the kStage sites below): corrupt the *persistent*
+                // phase-A demand after a successful route. The next
+                // route() call's incremental-route auditor must trip on
+                // the stale cache and recovery must invalidate it.
+                if (guard.active() && incremental &&
+                    recover::fault::fire("global-route",
+                                         recover::FaultKind::CorruptedDemand,
+                                         outer) &&
+                    inc_route.dem_h.width() > 0) {
+                    inc_route.dem_h.at(0, 0) += 1.0;
+                }
             }
 
             // Fault-injection sites (inert unless a matching spec is
@@ -636,8 +679,11 @@ RoutabilityStats run_routability_stage(
     {
         const double severe =
             cfg.use_rudy_congestion
-                ? rudy_congestion(d, grid, cfg.router).weighted_overflow()
-                : router->route(d).congestion.weighted_overflow();
+                ? rudy_congestion(d, grid, cfg.router, {},
+                                  incremental ? &inc_rudy : nullptr)
+                      .weighted_overflow()
+                : router->route(d, incremental ? &inc_route : nullptr)
+                      .congestion.weighted_overflow();
         if (severe < best_overflow * (1.0 - cfg.keep_best_margin)) {
             best_overflow = severe;
             best_pos = pos;

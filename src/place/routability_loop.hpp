@@ -28,6 +28,11 @@ struct RoutabilityStats {
     /// Recovery/degradation events of this stage (merged into
     /// PlaceResult::recovery by GlobalPlacer).
     recover::RecoveryReport recovery;
+    /// Incremental-routing reconciliation totals over the stage's router
+    /// invocations (reporting only; see RouteResult::inc_*). With
+    /// RDP_INCREMENTAL=0 rerouted == total.
+    long long route_conns_total = 0;
+    long long route_conns_rerouted = 0;
 };
 
 /// Run the routability-driven stage on a working design (fillers included;

@@ -6,17 +6,23 @@
 // Flow per invocation:
 //   1. build per-direction capacity maps (layer stack minus pin blockage on
 //      the lowest horizontal layer minus PG-rail blockage),
-//   2. decompose every net into two-pin MST edges and pattern-route each
-//      (L / Z candidates, congestion-aware costs updated net by net),
+//   2. decompose every net into two-pin MST edges over pin-bin centers and
+//      pattern-route each against a frozen capacity-only baseline cost
+//      (phase A — order-independent, so routes are cacheable per net; see
+//      router/incremental.hpp),
 //   3. optional rip-up-and-reroute rounds with history costs on overflowed
-//      G-cells (negotiation-style),
+//      G-cells (negotiation-style, phase B),
 //   4. 3D layer assignment for via counting and the layered demand maps.
+//
+// route(d, &state) reconciles a persistent IncrementalRouteState instead
+// of rebuilding phase A, and is bitwise identical to route(d).
 
 #include <vector>
 
 #include "db/design.hpp"
 #include "grid/bin_grid.hpp"
 #include "grid/congestion_map.hpp"
+#include "router/incremental.hpp"
 #include "router/layer_assign.hpp"
 #include "router/maze_route.hpp"
 #include "router/pattern_route.hpp"
@@ -81,6 +87,14 @@ struct RouteResult {
     /// signal the recovery layer (src/recover) consumes.
     int rrr_rounds_executed = 0;
     int rrr_rounds_stalled = 0;
+    /// Phase-A (initial pass) reconciliation statistics of this call.
+    /// Reporting only: the routing result itself never depends on whether
+    /// a persistent cache was in play. A stateless route() is a full
+    /// rebuild, so conns_rerouted == conns_total there.
+    int inc_conns_total = 0;
+    int inc_conns_rerouted = 0;
+    int inc_nets_rerouted = 0;
+    bool inc_full_rebuild = true;
 };
 
 class GlobalRouter {
@@ -92,6 +106,14 @@ public:
 
     /// Route the whole design and return aggregate maps and statistics.
     RouteResult route(const Design& d) const;
+
+    /// Incremental variant: reconcile `state` (cached per-net phase-A
+    /// routes and delta-maintained demand) instead of rebuilding from
+    /// scratch. Bitwise identical to route(d) for any RDP_THREADS value;
+    /// a null or incompatible state degenerates to a full rebuild. The
+    /// caller owns the state and must invalidate() it when rolling the
+    /// placement back (see src/recover).
+    RouteResult route(const Design& d, IncrementalRouteState* state) const;
 
     /// Capacity maps alone (per direction), for tests and the DRV proxy.
     void build_capacity(const Design& d, GridF& cap_h, GridF& cap_v) const;
@@ -107,6 +129,11 @@ private:
     void build_capacity_impl(const Design& d,
                              const std::vector<LayerSpec>& layers,
                              GridF& cap_h, GridF& cap_v) const;
+
+    /// Shared implementation: a stateless route() runs it against a
+    /// short-lived empty state, so "full" and "incremental" are one code
+    /// path and bitwise identity between them is structural.
+    RouteResult route_impl(const Design& d, IncrementalRouteState& state) const;
 
     BinGrid grid_;
     RouterConfig cfg_;

@@ -22,22 +22,21 @@ double span_cost(int x0, int y0, int x1, int y1, const GridF& cost) {
 }
 
 /// Evenly sampled interior values between a and b (exclusive), at most k.
-std::vector<int> sample_between(int a, int b, int k) {
-    std::vector<int> out;
+void sample_between(int a, int b, int k, std::vector<int>& out) {
+    out.clear();
     const int lo = std::min(a, b) + 1;
     const int hi = std::max(a, b) - 1;
     const int span = hi - lo + 1;
-    if (span <= 0 || k <= 0) return out;
+    if (span <= 0 || k <= 0) return;
     if (span <= k) {
         for (int v = lo; v <= hi; ++v) out.push_back(v);
-        return out;
+        return;
     }
     for (int i = 0; i < k; ++i) {
         const int v = lo + static_cast<int>(
                               (static_cast<long long>(span - 1) * i) / (k - 1));
         if (out.empty() || out.back() != v) out.push_back(v);
     }
-    return out;
 }
 
 }  // namespace
@@ -53,63 +52,72 @@ double path_cost(const RoutePath& p, const RouteCostModel& m) {
 
 RoutePath pattern_route(int x0, int y0, int x1, int y1,
                         const RouteCostModel& m, int max_bend_candidates) {
+    PatternScratch scratch;
+    RoutePath out;
+    pattern_route_into(x0, y0, x1, y1, m, max_bend_candidates, scratch, out);
+    return out;
+}
+
+void pattern_route_into(int x0, int y0, int x1, int y1,
+                        const RouteCostModel& m, int max_bend_candidates,
+                        PatternScratch& scratch, RoutePath& out) {
     assert(m.cost_h != nullptr && m.cost_v != nullptr);
-    RoutePath best;
+    out.segs.clear();
 
     if (x0 == x1 && y0 == y1) {
-        best.segs.push_back(hseg(x0, y0, x0));
-        return best;
+        out.segs.push_back(hseg(x0, y0, x0));
+        return;
     }
     if (y0 == y1) {
-        best.segs.push_back(hseg(x0, y0, x1));
-        return best;
+        out.segs.push_back(hseg(x0, y0, x1));
+        return;
     }
     if (x0 == x1) {
-        best.segs.push_back(vseg(x0, y0, y1));
-        return best;
+        out.segs.push_back(vseg(x0, y0, y1));
+        return;
     }
 
     double best_cost = std::numeric_limits<double>::max();
-    auto consider = [&](RoutePath p) {
-        const double c = path_cost(p, m);
+    RoutePath& cand = scratch.cand;
+    // Strictly-less keeps the first of equal-cost candidates, in the same
+    // candidate order as ever — the tie-break the determinism tests pin.
+    auto consider = [&] {
+        const double c = path_cost(cand, m);
         if (c < best_cost) {
             best_cost = c;
-            best = std::move(p);
+            out.segs.swap(cand.segs);
         }
     };
 
     // L-shapes. The bend cell is covered by both spans; the second span
     // starts adjacent to the bend to avoid double-charging the corner cell.
-    {
-        RoutePath p;  // horizontal first
-        p.segs.push_back(hseg(x0, y0, x1));
-        p.segs.push_back(vseg(x1, y0 + (y1 > y0 ? 1 : -1), y1));
-        consider(std::move(p));
-    }
-    {
-        RoutePath p;  // vertical first
-        p.segs.push_back(vseg(x0, y0, y1));
-        p.segs.push_back(hseg(x0 + (x1 > x0 ? 1 : -1), y1, x1));
-        consider(std::move(p));
-    }
+    cand.segs.clear();  // horizontal first
+    cand.segs.push_back(hseg(x0, y0, x1));
+    cand.segs.push_back(vseg(x1, y0 + (y1 > y0 ? 1 : -1), y1));
+    consider();
+    cand.segs.clear();  // vertical first
+    cand.segs.push_back(vseg(x0, y0, y1));
+    cand.segs.push_back(hseg(x0 + (x1 > x0 ? 1 : -1), y1, x1));
+    consider();
 
     // HVH Z-shapes: horizontal to column z, vertical, horizontal.
-    for (int z : sample_between(x0, x1, max_bend_candidates)) {
-        RoutePath p;
-        p.segs.push_back(hseg(x0, y0, z));
-        p.segs.push_back(vseg(z, y0 + (y1 > y0 ? 1 : -1), y1));
-        p.segs.push_back(hseg(z + (x1 > z ? 1 : -1), y1, x1));
-        consider(std::move(p));
+    sample_between(x0, x1, max_bend_candidates, scratch.samples);
+    for (int z : scratch.samples) {
+        cand.segs.clear();
+        cand.segs.push_back(hseg(x0, y0, z));
+        cand.segs.push_back(vseg(z, y0 + (y1 > y0 ? 1 : -1), y1));
+        cand.segs.push_back(hseg(z + (x1 > z ? 1 : -1), y1, x1));
+        consider();
     }
     // VHV Z-shapes: vertical to row z, horizontal, vertical.
-    for (int z : sample_between(y0, y1, max_bend_candidates)) {
-        RoutePath p;
-        p.segs.push_back(vseg(x0, y0, z));
-        p.segs.push_back(hseg(x0 + (x1 > x0 ? 1 : -1), z, x1));
-        p.segs.push_back(vseg(x1, z + (y1 > z ? 1 : -1), y1));
-        consider(std::move(p));
+    sample_between(y0, y1, max_bend_candidates, scratch.samples);
+    for (int z : scratch.samples) {
+        cand.segs.clear();
+        cand.segs.push_back(vseg(x0, y0, z));
+        cand.segs.push_back(hseg(x0 + (x1 > x0 ? 1 : -1), z, x1));
+        cand.segs.push_back(vseg(x1, z + (y1 > z ? 1 : -1), y1));
+        consider();
     }
-    return best;
 }
 
 }  // namespace rdp

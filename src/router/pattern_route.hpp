@@ -60,6 +60,15 @@ struct RouteCostModel {
 /// Cost of an existing path under the model.
 double path_cost(const RoutePath& p, const RouteCostModel& m);
 
+/// Reusable buffers for pattern_route_into: the candidate path and the
+/// Z-shape bend-sample list survive across calls, so steady-state routing
+/// performs no allocations. Not thread-safe — callers in parallel regions
+/// keep one scratch per chunk.
+struct PatternScratch {
+    std::vector<int> samples;
+    RoutePath cand;
+};
+
 /// Pattern-route (x0,y0) -> (x1,y1) in G-cell coordinates. Evaluates both
 /// L-shapes and up to `max_bend_candidates` HVH and VHV Z-shapes and returns
 /// the cheapest path. Degenerate cases (same cell / same row / same column)
@@ -67,5 +76,11 @@ double path_cost(const RoutePath& p, const RouteCostModel& m);
 RoutePath pattern_route(int x0, int y0, int x1, int y1,
                         const RouteCostModel& m,
                         int max_bend_candidates = 16);
+
+/// Allocation-free variant: writes the winning path into `out` (reusing
+/// its span storage) with per-call buffers hoisted into `scratch`.
+void pattern_route_into(int x0, int y0, int x1, int y1,
+                        const RouteCostModel& m, int max_bend_candidates,
+                        PatternScratch& scratch, RoutePath& out);
 
 }  // namespace rdp
