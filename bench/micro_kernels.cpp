@@ -54,18 +54,279 @@ void BM_Dct2(benchmark::State& state) {
 }
 BENCHMARK(BM_Dct2)->Range(64, 1024);
 
-void BM_PoissonSolve(benchmark::State& state) {
-    const int n = static_cast<int>(state.range(0));
-    PoissonSolver solver(n, n);
+/// Pins the pool to one worker for kernel-vs-kernel comparisons.
+struct OneThreadGuard {
+    int saved = par::max_threads();
+    OneThreadGuard() { par::set_max_threads(1); }
+    ~OneThreadGuard() { par::set_max_threads(saved); }
+};
+
+// --- Legacy spectral kernel baseline -------------------------------------
+// Faithful copy of the pre-plan-cache solver stack: recurrence-twiddle
+// N-point complex FFT, DCT-II through a *full-size* complex FFT, strided
+// column walks instead of blocked transposes, and per-solve allocation of
+// the input copy, the column scratch, and all three result grids. Kept so
+// BENCH_poisson.json records the speedup of the planned kernels against the
+// exact code they replaced, on the same host, in the same binary.
+namespace legacy {
+
+void fft(std::vector<Complex>& a, bool inverse) {
+    const int n = static_cast<int>(a.size());
+    if (n <= 1) return;
+    for (int i = 1, j = 0; i < n; ++i) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(a[i], a[j]);
+    }
+    for (int len = 2; len <= n; len <<= 1) {
+        const double ang = 2.0 * M_PI / len * (inverse ? 1.0 : -1.0);
+        const Complex wlen(std::cos(ang), std::sin(ang));
+        for (int i = 0; i < n; i += len) {
+            Complex w(1.0, 0.0);
+            for (int j = 0; j < len / 2; ++j) {
+                const Complex u = a[i + j];
+                const Complex v = a[i + j + len / 2] * w;
+                a[i + j] = u + v;
+                a[i + j + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+    if (inverse) {
+        const double inv = 1.0 / n;
+        for (auto& x : a) x *= inv;
+    }
+}
+
+struct Dct1d {
+    int n;
+    std::vector<Complex> buf;
+    std::vector<double> tc, ts, tmp;
+
+    explicit Dct1d(int n_in)
+        : n(n_in),
+          buf(static_cast<size_t>(n_in)),
+          tc(static_cast<size_t>(n_in)),
+          ts(static_cast<size_t>(n_in)),
+          tmp(static_cast<size_t>(n_in)) {
+        for (int k = 0; k < n; ++k) {
+            const double ang = M_PI * k / (2.0 * n);
+            tc[static_cast<size_t>(k)] = std::cos(ang);
+            ts[static_cast<size_t>(k)] = std::sin(ang);
+        }
+    }
+
+    void dct2(double* x) {
+        for (int i = 0; i * 2 < n; ++i) buf[static_cast<size_t>(i)] = x[2 * i];
+        for (int i = 0; i * 2 + 1 < n; ++i)
+            buf[static_cast<size_t>(n - 1 - i)] = x[2 * i + 1];
+        fft(buf, false);
+        for (int k = 0; k < n; ++k)
+            x[k] = buf[static_cast<size_t>(k)].real() *
+                       tc[static_cast<size_t>(k)] +
+                   buf[static_cast<size_t>(k)].imag() *
+                       ts[static_cast<size_t>(k)];
+    }
+
+    void idct2(double* x) {
+        for (int k = 0; k < n; ++k) {
+            const double re = x[k];
+            const double im = (k == 0) ? 0.0 : -x[n - k];
+            const double c = tc[static_cast<size_t>(k)];
+            const double s = ts[static_cast<size_t>(k)];
+            buf[static_cast<size_t>(k)] = {re * c - im * s, re * s + im * c};
+        }
+        fft(buf, true);
+        for (int i = 0; i * 2 < n; ++i)
+            x[2 * i] = buf[static_cast<size_t>(i)].real();
+        for (int i = 0; i * 2 + 1 < n; ++i)
+            x[2 * i + 1] = buf[static_cast<size_t>(n - 1 - i)].real();
+    }
+
+    void dct3(double* x) {
+        x[0] *= n;
+        for (int k = 1; k < n; ++k) x[k] *= n / 2.0;
+        idct2(x);
+    }
+
+    void idxst(double* x) {
+        tmp[0] = 0.0;
+        for (int k = 1; k < n; ++k) tmp[static_cast<size_t>(k)] = x[n - k];
+        std::copy(tmp.begin(), tmp.end(), x);
+        dct3(x);
+        for (int i = 1; i < n; i += 2) x[i] = -x[i];
+    }
+
+    void apply(int kind, double* x) {
+        if (kind == 0)
+            dct2(x);
+        else if (kind == 1)
+            dct3(x);
+        else
+            idxst(x);
+    }
+};
+
+struct Solver {
+    int w, h;
+    Dct1d row_ws, col_ws;
+
+    Solver(int w_in, int h_in)
+        : w(w_in), h(h_in), row_ws(w_in), col_ws(h_in) {}
+
+    void rows(GridF& g, int kind) {
+        for (int y = 0; y < h; ++y) row_ws.apply(kind, &g.at(0, y));
+    }
+
+    void cols(GridF& g, int kind) {
+        std::vector<double> col(static_cast<size_t>(h));
+        for (int x = 0; x < w; ++x) {
+            for (int y = 0; y < h; ++y)
+                col[static_cast<size_t>(y)] = g.at(x, y);
+            col_ws.apply(kind, col.data());
+            for (int y = 0; y < h; ++y)
+                g.at(x, y) = col[static_cast<size_t>(y)];
+        }
+    }
+
+    PoissonSolution solve(const GridF& rho) {
+        GridF a = rho;
+        double sum = 0.0;
+        for (const double v : a) sum += v;
+        const double mean = sum / static_cast<double>(a.size());
+        for (auto& v : a) v -= mean;
+
+        rows(a, 0);
+        cols(a, 0);
+        const double inv_mn = 1.0 / (static_cast<double>(w) * h);
+        PoissonSolution sol;
+        sol.potential = GridF(w, h);
+        sol.field_x = GridF(w, h);
+        sol.field_y = GridF(w, h);
+        for (int v = 0; v < h; ++v) {
+            const double wv = M_PI * v / h;
+            const double pv = (v == 0) ? 1.0 : 2.0;
+            for (int u = 0; u < w; ++u) {
+                const double wu = M_PI * u / w;
+                const double pu = (u == 0) ? 1.0 : 2.0;
+                const double denom = wu * wu + wv * wv;
+                const double c = denom > 0.0
+                                     ? a.at(u, v) * pu * pv * inv_mn / denom
+                                     : 0.0;
+                sol.potential.at(u, v) = c;
+                sol.field_x.at(u, v) = c * wu;
+                sol.field_y.at(u, v) = c * wv;
+            }
+        }
+        rows(sol.potential, 1);
+        cols(sol.potential, 1);
+        rows(sol.field_x, 2);
+        cols(sol.field_x, 1);
+        rows(sol.field_y, 1);
+        cols(sol.field_y, 2);
+        return sol;
+    }
+};
+
+}  // namespace legacy
+
+GridF bench_density_grid(int n) {
     Rng rng(3);
     GridF rho(n, n);
     for (auto& v : rho) v = rng.uniform();
+    return rho;
+}
+
+void BM_PoissonSolve(benchmark::State& state) {
+    OneThreadGuard one;  // kernel speed, not thread scaling
+    const int n = static_cast<int>(state.range(0));
+    PoissonSolver solver(n, n);
+    PoissonWorkspace ws;
+    const GridF rho = bench_density_grid(n);
+    for (auto _ : state) {
+        const PoissonSolution& sol = solver.solve(rho, ws);
+        benchmark::DoNotOptimize(sol.potential.data());
+    }
+}
+BENCHMARK(BM_PoissonSolve)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PoissonSolveLegacy(benchmark::State& state) {
+    OneThreadGuard one;
+    const int n = static_cast<int>(state.range(0));
+    legacy::Solver solver(n, n);
+    const GridF rho = bench_density_grid(n);
     for (auto _ : state) {
         auto sol = solver.solve(rho);
         benchmark::DoNotOptimize(sol.potential.data());
     }
 }
-BENCHMARK(BM_PoissonSolve)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_PoissonSolveLegacy)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// 2D pass shapes: contiguous row batch vs the two column strategies
+// (blocked transpose round-trip vs the legacy strided walk). These isolate
+// why the solver moved to transposes.
+void BM_Dct2dRows(benchmark::State& state) {
+    OneThreadGuard one;
+    const int n = static_cast<int>(state.range(0));
+    const GridF g = bench_density_grid(n);
+    GridF work;
+    DctWorkspace ws(n);
+    for (auto _ : state) {
+        grid_copy_into(g, work);
+        for (int y = 0; y < n; ++y) ws.dct2(&work.at(0, y));
+        benchmark::DoNotOptimize(work.data());
+    }
+}
+BENCHMARK(BM_Dct2dRows)->Arg(512)->Arg(1024);
+
+void BM_Dct2dCols(benchmark::State& state) {
+    OneThreadGuard one;
+    const int n = static_cast<int>(state.range(0));
+    const GridF g = bench_density_grid(n);
+    GridF t, work;
+    DctWorkspace ws(n);
+    for (auto _ : state) {
+        grid_transpose_into(g, t);
+        for (int y = 0; y < n; ++y) ws.dct2(&t.at(0, y));
+        grid_transpose_into(t, work);
+        benchmark::DoNotOptimize(work.data());
+    }
+}
+BENCHMARK(BM_Dct2dCols)->Arg(512)->Arg(1024);
+
+void BM_Dct2dColsStrided(benchmark::State& state) {
+    OneThreadGuard one;
+    const int n = static_cast<int>(state.range(0));
+    const GridF g = bench_density_grid(n);
+    GridF work;
+    DctWorkspace ws(n);
+    std::vector<double> col(static_cast<size_t>(n));
+    for (auto _ : state) {
+        grid_copy_into(g, work);
+        for (int x = 0; x < n; ++x) {
+            for (int y = 0; y < n; ++y)
+                col[static_cast<size_t>(y)] = work.at(x, y);
+            ws.dct2(col.data());
+            for (int y = 0; y < n; ++y)
+                work.at(x, y) = col[static_cast<size_t>(y)];
+        }
+        benchmark::DoNotOptimize(work.data());
+    }
+}
+BENCHMARK(BM_Dct2dColsStrided)->Arg(512)->Arg(1024);
 
 Design bench_design(int cells) {
     GeneratorConfig cfg;

@@ -3,11 +3,19 @@
 # RDP_SCALE shrinks the synthetic suite uniformly; the *ratios* the paper
 # reports are scale-stable (see EXPERIMENTS.md).
 #
-# `run_benches.sh --json` instead runs only the router / routability-loop
-# microbenchmarks and writes BENCH_router.json (google-benchmark JSON:
-# wall clocks plus the cache_hit_rate / conns_rerouted_per_iter /
-# nets_rerouted_per_iter / bins_recomputed_per_iter counters), so the
-# incremental-routing perf trajectory is machine-trackable across PRs.
+# `run_benches.sh --json` instead runs only the machine-trackable
+# microbenchmark sets and writes
+#   BENCH_router.json   router / routability-loop benches (wall clocks plus
+#                       the cache_hit_rate / conns_rerouted_per_iter /
+#                       nets_rerouted_per_iter / bins_recomputed_per_iter
+#                       counters)
+#   BENCH_poisson.json  spectral kernel benches: BM_PoissonSolve (planned
+#                       transpose-blocked solver, workspace reuse) next to
+#                       BM_PoissonSolveLegacy (faithful pre-plan-cache
+#                       kernel) at 64..1024, plus the BM_Dct2d* row/column
+#                       pass shapes — the Solve/SolveLegacy ratio at each
+#                       size is the PR-over-PR speedup record
+# so the perf trajectory is machine-trackable across PRs.
 export RDP_SCALE=${RDP_SCALE:-0.5}
 cd "$(dirname "$0")"
 
@@ -17,6 +25,12 @@ if [ "$1" = "--json" ]; then
     --benchmark_filter='GlobalRoute|RouterRrrRoundThreads|RoutabilityLoopRoute|RudyCongestion' \
     --benchmark_min_time=0.2 \
     --benchmark_out=BENCH_router.json --benchmark_out_format=json \
+    2>/dev/null || exit $?
+  echo "=== rdplace poisson bench (JSON -> BENCH_poisson.json) ==="
+  ./build/bench/micro_kernels \
+    --benchmark_filter='PoissonSolve|Dct2d' \
+    --benchmark_min_time=0.2 \
+    --benchmark_out=BENCH_poisson.json --benchmark_out_format=json \
     2>/dev/null
   exit $?
 fi

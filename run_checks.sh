@@ -64,6 +64,7 @@ if cmake -B build-checks -S . -DRDP_WERROR=ON >/dev/null &&
     require_label build-checks parallel
     require_label build-checks recover
     require_label build-checks router
+    require_label build-checks poisson
     if ! ctest --test-dir build-checks --output-on-failure -j "$JOBS"; then
         record_failure "default ctest"
     fi
@@ -128,6 +129,17 @@ if [[ "$FAST" == 0 ]]; then
         if ! RDP_INCREMENTAL=1 ctest --test-dir build-san-address-undefined \
                    -L router --output-on-failure -j "$JOBS"; then
             record_failure "incremental routing (asan+ubsan)"
+        fi
+    fi
+
+    # Spectral kernels under ASan+UBSan: the planned FFT/DCT layer is dense
+    # index arithmetic (bit-reversal permutes, half-spectrum pack/unpack,
+    # blocked transposes) — exactly the code ASan catches off-by-ones in.
+    note "spectral kernels under ASan+UBSan (ctest -L poisson)"
+    if require_label build-san-address-undefined poisson; then
+        if ! ctest --test-dir build-san-address-undefined -L poisson \
+                   --output-on-failure -j "$JOBS"; then
+            record_failure "spectral kernels (asan+ubsan)"
         fi
     fi
 

@@ -9,7 +9,7 @@ namespace rdp::audit {
 
 namespace {
 
-constexpr size_t kNumAuditors = 7;
+constexpr size_t kNumAuditors = 8;
 
 constexpr std::array<AuditorInfo, kNumAuditors> kAuditors = {{
     {"finite-gradients",
@@ -22,6 +22,8 @@ constexpr std::array<AuditorInfo, kNumAuditors> kAuditors = {{
      "delta-maintained phase-A demand equals a from-scratch recompute"},
     {"congestion-finite",
      "congestion-map demand and capacity are finite and non-negative"},
+    {"spectral-finite",
+     "spectral Poisson potential and field grids are finite and NaN-free"},
     {"inflation-budget",
      "inflated-area bookkeeping balances against the filler budget"},
     {"legalized", "legalized cells are row/site-aligned and overlap-free"},
@@ -179,6 +181,28 @@ void check_congestion_map(const CongestionMap& cmap) {
             fail("congestion-finite", oss.str());
         }
     }
+}
+
+void check_spectral_finite(const char* what, const GridF& potential,
+                           const GridF& field_x, const GridF& field_y) {
+    if (!audit_enabled()) return;
+    note_run("spectral-finite");
+    auto scan = [what](const GridF& g, const char* map) {
+        const double* p = g.data();
+        const size_t n = g.size();
+        for (size_t i = 0; i < n; ++i) {
+            if (std::isfinite(p[i])) continue;
+            const int x = static_cast<int>(i) % g.width();
+            const int y = static_cast<int>(i) / g.width();
+            std::ostringstream oss;
+            oss << what << " solve produced a non-finite " << map
+                << " value at bin (" << x << ", " << y << "): " << p[i];
+            fail("spectral-finite", oss.str());
+        }
+    };
+    scan(potential, "potential");
+    scan(field_x, "field-x");
+    scan(field_y, "field-y");
 }
 
 void check_inflation_budget(const Design& d, int first_filler,

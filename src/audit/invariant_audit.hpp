@@ -20,6 +20,10 @@
 //                      routability loop has finite, non-negative demand and
 //                      capacity everywhere (checked on every fresh map,
 //                      router-produced or RUDY-estimated).
+//   spectral-finite    the potential and field grids produced by a spectral
+//                      Poisson solve contain no NaN or infinity (checked on
+//                      every density solve; catches FFT/DCT kernel
+//                      corruption before it poisons the gradients).
 //   incremental-route  the delta-maintained phase-A demand of the
 //                      incremental router equals a from-scratch recompute
 //                      over the cached per-net routes exactly (checked
@@ -90,6 +94,13 @@ void check_incremental_route(const GridF& dem_h, const GridF& dem_v,
 
 /// Finite, non-negative demand and capacity in every G-cell of `cmap`.
 void check_congestion_map(const CongestionMap& cmap);
+
+/// Every entry of a spectral solve's potential and field grids is finite.
+/// `what` names the solve ("density", "congestion", ...). Grid references
+/// keep this decoupled from the solver's result types (the audit library
+/// does not link against the poisson layer).
+void check_spectral_finite(const char* what, const GridF& potential,
+                           const GridF& field_x, const GridF& field_y);
 
 /// Audit the post-budget inflation ratios (see budget_inflation):
 /// cells [0, first_filler) are real, the rest fillers. `extra_area` is the

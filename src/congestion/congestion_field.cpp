@@ -10,21 +10,18 @@ CongestionField::CongestionField(BinGrid grid)
 void CongestionField::build(const CongestionMap& cmap) {
     assert(cmap.grid().nx() == grid_.nx() && cmap.grid().ny() == grid_.ny());
     const GridF rho = cmap.utilization_grid();
-    const PoissonSolution sol = solver_.solve(rho);
-    psi_ = sol.potential;
-    ex_ = sol.field_x;
-    ey_ = sol.field_y;
+    solver_.solve(rho, ws_);
     built_ = true;
 }
 
 double CongestionField::potential_at(Vec2 p) const {
     assert(built_);
-    return grid_.sample_bilinear(psi_, p);
+    return grid_.sample_bilinear(ws_.sol.potential, p);
 }
 
 Vec2 CongestionField::field_at(Vec2 p) const {
     assert(built_);
-    const Vec2 e = grid_.sample_field(ex_, ey_, p);
+    const Vec2 e = grid_.sample_field(ws_.sol.field_x, ws_.sol.field_y, p);
     // Spectral field is in grid-index units; convert to physical.
     return {e.x / grid_.bin_w(), e.y / grid_.bin_h()};
 }

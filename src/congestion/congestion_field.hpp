@@ -26,7 +26,7 @@ public:
 
     bool built() const { return built_; }
     const BinGrid& grid() const { return grid_; }
-    const GridF& potential() const { return psi_; }
+    const GridF& potential() const { return ws_.sol.potential; }
 
     /// Electric potential at a point (bilinear).
     double potential_at(Vec2 p) const;
@@ -39,9 +39,9 @@ public:
 private:
     BinGrid grid_;
     PoissonSolver solver_;
-    GridF psi_;
-    GridF ex_;
-    GridF ey_;
+    /// Solve scratch + results; build() writes potential/field in place, so
+    /// rebuilds on a new congestion map are allocation-free.
+    PoissonWorkspace ws_;
     bool built_ = false;
 };
 

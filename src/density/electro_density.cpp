@@ -98,10 +98,14 @@ DensityResult ElectroDensity::evaluate(const Design& d,
         audit::check_density_mass(rho, expected);
     }
 
-    // Poisson solve on area-per-bin-area density (dimensionless).
-    GridF rho_norm = rho;
-    grid_scale(rho_norm, 1.0 / grid_.bin_area());
-    const PoissonSolution sol = solver_.solve(rho_norm);
+    // Poisson solve on area-per-bin-area density (dimensionless): the
+    // 1/bin_area normalization rides into the solver's spectral multipliers
+    // instead of scaling a copy of the charge grid.
+    const PoissonSolution& sol =
+        solver_.solve(rho, solve_ws_, 1.0 / grid_.bin_area());
+    if (audit_enabled())
+        audit::check_spectral_finite("density", sol.potential, sol.field_x,
+                                     sol.field_y);
 
     // Field is in grid-index units; convert to physical units.
     const double inv_bw = 1.0 / grid_.bin_w();

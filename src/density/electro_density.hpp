@@ -56,6 +56,11 @@ private:
     BinGrid grid_;
     DensityConfig cfg_;
     PoissonSolver solver_;
+    /// Persistent solve scratch + outputs: after the first evaluate() the
+    /// Poisson stage performs no allocation. Mutable because evaluate() is
+    /// logically const; evaluate() itself is not safe to call concurrently
+    /// on one instance (it never was — the solver shares transform state).
+    mutable PoissonWorkspace solve_ws_;
 };
 
 }  // namespace rdp

@@ -3,129 +3,169 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
+#include <mutex>
 
 #include "fft/fft.hpp"
 
 namespace rdp {
 
-// Forward DCT-II via Makhoul's even/odd reordering and an N-point FFT:
-//   v[n]     = x[2n]          n = 0..ceil(N/2)-1
-//   v[N-1-n] = x[2n+1]        n = 0..floor(N/2)-1
-//   X[k]     = Re( e^{-i pi k / (2N)} FFT(v)[k] )
-std::vector<double> dct2(const std::vector<double>& x) {
-    const int n = static_cast<int>(x.size());
+DctPlan::DctPlan(int n) : n_(n), m_(n / 2) {
     assert(is_pow2(n));
-    std::vector<Complex> v(n);
-    for (int i = 0; i * 2 < n; ++i) v[i] = x[2 * i];
-    for (int i = 0; i * 2 + 1 < n; ++i) v[n - 1 - i] = x[2 * i + 1];
-    fft(v, /*inverse=*/false);
-    std::vector<double> out(n);
+    cos_.resize(static_cast<size_t>(n));
+    sin_.resize(static_cast<size_t>(n));
     for (int k = 0; k < n; ++k) {
-        const double ang = -M_PI * k / (2.0 * n);
-        out[k] = v[k].real() * std::cos(ang) - v[k].imag() * std::sin(ang);
+        const double ang = M_PI * k / (2.0 * n);
+        cos_[static_cast<size_t>(k)] = std::cos(ang);
+        sin_[static_cast<size_t>(k)] = std::sin(ang);
     }
-    return out;
+    if (m_ >= 1) {
+        fft_ = &fft_plan(m_);
+        wr_.resize(static_cast<size_t>(m_) + 1);
+        for (int k = 0; k <= m_; ++k) {
+            const double ang = -2.0 * M_PI * k / n;
+            wr_[static_cast<size_t>(k)] = {std::cos(ang), std::sin(ang)};
+        }
+    }
 }
 
-// Exact inverse of dct2 (reverses Makhoul's steps). Uses the Hermitian
-// symmetry of the FFT of the real sequence v:
-//   Z[k] = X[k] - i X[N-k]  (Z[0] = X[0]),  V[k] = e^{+i pi k/(2N)} Z[k]
-std::vector<double> idct2(const std::vector<double>& X) {
-    const int n = static_cast<int>(X.size());
+namespace {
+
+struct DctPlanCache {
+    std::mutex mu;
+    std::unique_ptr<DctPlan> plans[32];
+};
+
+DctPlanCache& dct_plan_cache() {
+    static DctPlanCache cache;
+    return cache;
+}
+
+}  // namespace
+
+const DctPlan& dct_plan(int n) {
     assert(is_pow2(n));
-    std::vector<Complex> v(n);
-    for (int k = 0; k < n; ++k) {
-        const double re = X[k];
-        const double im = (k == 0) ? 0.0 : -X[n - k];
-        const double ang = M_PI * k / (2.0 * n);
-        const Complex z(re, im);
-        v[k] = z * Complex(std::cos(ang), std::sin(ang));
+    DctPlanCache& cache = dct_plan_cache();
+    int slot = 0;
+    while ((1 << slot) < n) ++slot;
+    std::lock_guard<std::mutex> lock(cache.mu);
+    if (!cache.plans[slot]) cache.plans[slot] = std::make_unique<DctPlan>(n);
+    return *cache.plans[slot];
+}
+
+DctWorkspace::DctWorkspace(int n)
+    : plan_(&dct_plan(n)),
+      buf_(static_cast<size_t>(plan_->m_)),
+      vbuf_(static_cast<size_t>(plan_->m_) + 1),
+      tmp_(static_cast<size_t>(n)) {}
+
+// Forward DCT-II via Makhoul's even/odd reordering and a half-size complex
+// FFT of the reordered *real* sequence v:
+//   v[n]     = x[2n]            n = 0..N/2-1
+//   v[N-1-n] = x[2n+1]          n = 0..N/2-1
+//   X[k]     = Re( e^{-i pi k / (2N)} V[k] ),  V = DFT_N(v)
+// V is computed from the M = N/2 point FFT of z[k] = v[2k] + i v[2k+1]:
+//   V[k] = E[k] + W^k O[k],  E = (Z[k]+conj(Z[M-k]))/2,
+//   O = -i (Z[k]-conj(Z[M-k]))/2,  W = e^{-2 pi i / N},
+// with the Hermitian tail V[N-k] = conj(V[k]) folded into the output pass.
+void DctWorkspace::dct2(double* x) {
+    const DctPlan& p = *plan_;
+    const int n = p.n_, m = p.m_;
+    if (n == 1) return;
+
+    for (int i = 0; i < m; ++i) tmp_[static_cast<size_t>(i)] = x[2 * i];
+    for (int i = 0; i < m; ++i)
+        tmp_[static_cast<size_t>(n - 1 - i)] = x[2 * i + 1];
+    for (int k = 0; k < m; ++k)
+        buf_[static_cast<size_t>(k)] = {tmp_[static_cast<size_t>(2 * k)],
+                                        tmp_[static_cast<size_t>(2 * k + 1)]};
+    p.fft_->forward(buf_.data());
+
+    // k = 0 and k = m: V[0] and V[m] are real.
+    x[0] = buf_[0].real() + buf_[0].imag();
+    x[m] = (buf_[0].real() - buf_[0].imag()) * p.cos_[static_cast<size_t>(m)];
+    for (int k = 1; k < m; ++k) {
+        const Complex z = buf_[static_cast<size_t>(k)];
+        const Complex y = buf_[static_cast<size_t>(m - k)];
+        const double er = 0.5 * (z.real() + y.real());
+        const double ei = 0.5 * (z.imag() - y.imag());
+        const double odr = 0.5 * (z.imag() + y.imag());
+        const double odi = -0.5 * (z.real() - y.real());
+        const Complex w = p.wr_[static_cast<size_t>(k)];
+        const double vr = er + w.real() * odr - w.imag() * odi;
+        const double vi = ei + w.real() * odi + w.imag() * odr;
+        x[k] = vr * p.cos_[static_cast<size_t>(k)] +
+               vi * p.sin_[static_cast<size_t>(k)];
+        x[n - k] = vr * p.cos_[static_cast<size_t>(n - k)] -
+                   vi * p.sin_[static_cast<size_t>(n - k)];
     }
-    fft(v, /*inverse=*/true);
-    std::vector<double> out(n);
-    for (int i = 0; i * 2 < n; ++i) out[2 * i] = v[i].real();
-    for (int i = 0; i * 2 + 1 < n; ++i) out[2 * i + 1] = v[n - 1 - i].real();
-    return out;
+}
+
+// Exact inverse of dct2: rebuild the half spectrum V[0..m] from X using the
+// Hermitian symmetry (Z[k] = X[k] - i X[N-k], V[k] = e^{+i pi k/(2N)} Z[k]),
+// repack into the M-point spectrum, inverse-FFT, and undo the reordering.
+void DctWorkspace::idct2(double* x) {
+    const DctPlan& p = *plan_;
+    const int n = p.n_, m = p.m_;
+    if (n == 1) return;
+
+    vbuf_[0] = {x[0], 0.0};
+    vbuf_[static_cast<size_t>(m)] = {x[m] * M_SQRT2, 0.0};
+    for (int k = 1; k < m; ++k) {
+        const double re = x[k];
+        const double im = -x[n - k];
+        const double c = p.cos_[static_cast<size_t>(k)];
+        const double s = p.sin_[static_cast<size_t>(k)];
+        vbuf_[static_cast<size_t>(k)] = {re * c - im * s, re * s + im * c};
+    }
+
+    buf_[0] = {0.5 * (vbuf_[0].real() + vbuf_[static_cast<size_t>(m)].real()),
+               0.5 * (vbuf_[0].real() - vbuf_[static_cast<size_t>(m)].real())};
+    for (int k = 1; k < m; ++k) {
+        const Complex a = vbuf_[static_cast<size_t>(k)];
+        const Complex b = vbuf_[static_cast<size_t>(m - k)];
+        const double er = 0.5 * (a.real() + b.real());
+        const double ei = 0.5 * (a.imag() - b.imag());
+        const double gr = 0.5 * (a.real() - b.real());
+        const double gi = 0.5 * (a.imag() + b.imag());
+        const Complex w = p.wr_[static_cast<size_t>(k)];
+        // O = conj(W^k) * (V[k] - conj(V[m-k])) / 2; Z[k] = E + i O.
+        const double odr = w.real() * gr + w.imag() * gi;
+        const double odi = w.real() * gi - w.imag() * gr;
+        buf_[static_cast<size_t>(k)] = {er - odi, ei + odr};
+    }
+    p.fft_->inverse(buf_.data());
+
+    for (int k = 0; k < m; ++k) {
+        tmp_[static_cast<size_t>(2 * k)] = buf_[static_cast<size_t>(k)].real();
+        tmp_[static_cast<size_t>(2 * k + 1)] =
+            buf_[static_cast<size_t>(k)].imag();
+    }
+    for (int i = 0; i < m; ++i) {
+        x[2 * i] = tmp_[static_cast<size_t>(i)];
+        x[2 * i + 1] = tmp_[static_cast<size_t>(n - 1 - i)];
+    }
 }
 
 // dct3 is the transpose of dct2. With D = diag(N, N/2, ..., N/2) the DCT-II
 // matrix M satisfies M M^T = D, hence M^T a = M^{-1} (D a) = idct2(D a).
-std::vector<double> dct3(const std::vector<double>& a) {
-    const int n = static_cast<int>(a.size());
-    assert(is_pow2(n));
-    std::vector<double> scaled(n);
-    scaled[0] = a[0] * n;
-    for (int k = 1; k < n; ++k) scaled[k] = a[k] * (n / 2.0);
-    return idct2(scaled);
+void DctWorkspace::dct3(double* x) {
+    const int n = plan_->n_;
+    x[0] *= static_cast<double>(n);
+    for (int k = 1; k < n; ++k) x[k] *= n / 2.0;
+    idct2(x);
 }
 
 // Sine-series evaluation from the cosine-series evaluator via the identity
 //   sin(pi k (2n+1)/(2N)) = (-1)^n cos(pi (N-k) (2n+1)/(2N)),
 // so idxst(b) = (-1)^n dct3(c) with c[0] = 0 and c[k] = b[N-k] for k >= 1.
 // (The k = 0 sine term vanishes; the k = N cosine term also vanishes.)
-std::vector<double> idxst(const std::vector<double>& b) {
-    const int n = static_cast<int>(b.size());
-    assert(is_pow2(n));
-    std::vector<double> c(n, 0.0);
-    for (int k = 1; k < n; ++k) c[k] = b[n - k];
-    std::vector<double> y = dct3(c);
-    for (int i = 1; i < n; i += 2) y[i] = -y[i];
-    return y;
-}
-
-DctWorkspace::DctWorkspace(int n)
-    : n_(n),
-      buf_(static_cast<size_t>(n)),
-      twiddle_cos_(static_cast<size_t>(n)),
-      twiddle_sin_(static_cast<size_t>(n)),
-      tmp_(static_cast<size_t>(n)) {
-    assert(is_pow2(n));
-    for (int k = 0; k < n; ++k) {
-        const double ang = M_PI * k / (2.0 * n);
-        twiddle_cos_[static_cast<size_t>(k)] = std::cos(ang);
-        twiddle_sin_[static_cast<size_t>(k)] = std::sin(ang);
-    }
-}
-
-void DctWorkspace::dct2(double* x) {
-    const int n = n_;
-    for (int i = 0; i * 2 < n; ++i) buf_[static_cast<size_t>(i)] = x[2 * i];
-    for (int i = 0; i * 2 + 1 < n; ++i)
-        buf_[static_cast<size_t>(n - 1 - i)] = x[2 * i + 1];
-    fft(buf_, /*inverse=*/false);
-    for (int k = 0; k < n; ++k) {
-        x[k] = buf_[static_cast<size_t>(k)].real() *
-                   twiddle_cos_[static_cast<size_t>(k)] +
-               buf_[static_cast<size_t>(k)].imag() *
-                   twiddle_sin_[static_cast<size_t>(k)];
-    }
-}
-
-void DctWorkspace::idct2(double* x) {
-    const int n = n_;
-    for (int k = 0; k < n; ++k) {
-        const double re = x[k];
-        const double im = (k == 0) ? 0.0 : -x[n - k];
-        const double c = twiddle_cos_[static_cast<size_t>(k)];
-        const double s = twiddle_sin_[static_cast<size_t>(k)];
-        buf_[static_cast<size_t>(k)] = {re * c - im * s, re * s + im * c};
-    }
-    fft(buf_, /*inverse=*/true);
-    for (int i = 0; i * 2 < n; ++i)
-        x[2 * i] = buf_[static_cast<size_t>(i)].real();
-    for (int i = 0; i * 2 + 1 < n; ++i)
-        x[2 * i + 1] = buf_[static_cast<size_t>(n - 1 - i)].real();
-}
-
-void DctWorkspace::dct3(double* x) {
-    const int n = n_;
-    x[0] *= static_cast<double>(n);
-    for (int k = 1; k < n; ++k) x[k] *= n / 2.0;
-    idct2(x);
-}
-
 void DctWorkspace::idxst(double* x) {
-    const int n = n_;
+    const int n = plan_->n_;
+    if (n == 1) {
+        x[0] = 0.0;
+        return;
+    }
     tmp_[0] = 0.0;
     for (int k = 1; k < n; ++k) tmp_[static_cast<size_t>(k)] = x[n - k];
     std::copy(tmp_.begin(), tmp_.end(), x);
@@ -133,32 +173,66 @@ void DctWorkspace::idxst(double* x) {
     for (int i = 1; i < n; i += 2) x[i] = -x[i];
 }
 
+std::vector<double> dct2(const std::vector<double>& x) {
+    std::vector<double> out = x;
+    DctWorkspace ws(static_cast<int>(x.size()));
+    ws.dct2(out.data());
+    return out;
+}
+
+std::vector<double> idct2(const std::vector<double>& X) {
+    std::vector<double> out = X;
+    DctWorkspace ws(static_cast<int>(X.size()));
+    ws.idct2(out.data());
+    return out;
+}
+
+std::vector<double> dct3(const std::vector<double>& a) {
+    std::vector<double> out = a;
+    DctWorkspace ws(static_cast<int>(a.size()));
+    ws.dct3(out.data());
+    return out;
+}
+
+std::vector<double> idxst(const std::vector<double>& b) {
+    std::vector<double> out = b;
+    DctWorkspace ws(static_cast<int>(b.size()));
+    ws.idxst(out.data());
+    return out;
+}
+
 namespace naive {
 
 std::vector<double> dct2(const std::vector<double>& x) {
     const int n = static_cast<int>(x.size());
-    std::vector<double> out(n, 0.0);
+    std::vector<double> out(static_cast<size_t>(n), 0.0);
     for (int k = 0; k < n; ++k)
         for (int i = 0; i < n; ++i)
-            out[k] += x[i] * std::cos(M_PI * k * (2 * i + 1) / (2.0 * n));
+            out[static_cast<size_t>(k)] +=
+                x[static_cast<size_t>(i)] *
+                std::cos(M_PI * k * (2 * i + 1) / (2.0 * n));
     return out;
 }
 
 std::vector<double> dct3(const std::vector<double>& a) {
     const int n = static_cast<int>(a.size());
-    std::vector<double> out(n, 0.0);
+    std::vector<double> out(static_cast<size_t>(n), 0.0);
     for (int i = 0; i < n; ++i)
         for (int k = 0; k < n; ++k)
-            out[i] += a[k] * std::cos(M_PI * k * (2 * i + 1) / (2.0 * n));
+            out[static_cast<size_t>(i)] +=
+                a[static_cast<size_t>(k)] *
+                std::cos(M_PI * k * (2 * i + 1) / (2.0 * n));
     return out;
 }
 
 std::vector<double> idxst(const std::vector<double>& b) {
     const int n = static_cast<int>(b.size());
-    std::vector<double> out(n, 0.0);
+    std::vector<double> out(static_cast<size_t>(n), 0.0);
     for (int i = 0; i < n; ++i)
         for (int k = 0; k < n; ++k)
-            out[i] += b[k] * std::sin(M_PI * k * (2 * i + 1) / (2.0 * n));
+            out[static_cast<size_t>(i)] +=
+                b[static_cast<size_t>(k)] *
+                std::sin(M_PI * k * (2 * i + 1) / (2.0 * n));
     return out;
 }
 

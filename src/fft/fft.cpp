@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <memory>
+#include <mutex>
 
 namespace rdp {
 
@@ -11,44 +13,106 @@ int next_pow2(int n) {
     return p;
 }
 
-void fft(std::vector<Complex>& a, bool inverse) {
-    const int n = static_cast<int>(a.size());
+FftPlan::FftPlan(int n) : n_(n), rev_(static_cast<size_t>(n)) {
     assert(is_pow2(n));
+    for (int i = 1; i < n; ++i)
+        rev_[static_cast<size_t>(i)] =
+            (rev_[static_cast<size_t>(i >> 1)] >> 1) | ((i & 1) ? n >> 1 : 0);
+    tw_.resize(static_cast<size_t>(n / 2));
+    // Each twiddle from its own cos/sin evaluation: the table is exact to
+    // ulp, unlike the repeated-multiplication recurrence it replaces.
+    for (int k = 0; k < n / 2; ++k) {
+        const double ang = -2.0 * M_PI * k / n;
+        tw_[static_cast<size_t>(k)] = {std::cos(ang), std::sin(ang)};
+    }
+}
+
+template <bool Inverse>
+void FftPlan::transform(Complex* a) const {
+    const int n = n_;
     if (n <= 1) return;
 
-    // Bit-reversal permutation.
-    for (int i = 1, j = 0; i < n; ++i) {
-        int bit = n >> 1;
-        for (; j & bit; bit >>= 1) j ^= bit;
-        j ^= bit;
+    for (int i = 1; i < n; ++i) {
+        const int j = rev_[static_cast<size_t>(i)];
         if (i < j) std::swap(a[i], a[j]);
     }
 
-    for (int len = 2; len <= n; len <<= 1) {
-        const double ang = 2.0 * M_PI / len * (inverse ? 1.0 : -1.0);
-        const Complex wlen(std::cos(ang), std::sin(ang));
+    // First stage (len = 2): all twiddles are 1, no multiply needed.
+    for (int i = 0; i < n; i += 2) {
+        const Complex u = a[i];
+        const Complex v = a[i + 1];
+        a[i] = u + v;
+        a[i + 1] = u - v;
+    }
+
+    for (int len = 4; len <= n; len <<= 1) {
+        const int half = len >> 1;
+        const int stride = n / len;
         for (int i = 0; i < n; i += len) {
-            Complex w(1.0, 0.0);
-            for (int j = 0; j < len / 2; ++j) {
-                const Complex u = a[i + j];
-                const Complex v = a[i + j + len / 2] * w;
-                a[i + j] = u + v;
-                a[i + j + len / 2] = u - v;
-                w *= wlen;
+            Complex* lo = a + i;
+            Complex* hi = a + i + half;
+            for (int j = 0; j < half; ++j) {
+                const Complex& w = tw_[static_cast<size_t>(j * stride)];
+                const double wr = w.real();
+                const double wi = Inverse ? -w.imag() : w.imag();
+                const double hr = hi[j].real(), hi_ = hi[j].imag();
+                const double vr = hr * wr - hi_ * wi;
+                const double vi = hr * wi + hi_ * wr;
+                const double ur = lo[j].real(), ui = lo[j].imag();
+                lo[j] = {ur + vr, ui + vi};
+                hi[j] = {ur - vr, ui - vi};
             }
         }
     }
 
-    if (inverse) {
+    if (Inverse) {
         const double inv = 1.0 / n;
-        for (auto& x : a) x *= inv;
+        for (int i = 0; i < n; ++i) a[i] *= inv;
     }
 }
 
-std::vector<Complex> fft_real(const std::vector<double>& x) {
-    std::vector<Complex> a(x.begin(), x.end());
-    fft(a, /*inverse=*/false);
-    return a;
+void FftPlan::forward(Complex* a) const { transform<false>(a); }
+void FftPlan::inverse(Complex* a) const { transform<true>(a); }
+
+namespace {
+
+// Plans keyed by log2(size): at most 31 distinct sizes, stable addresses.
+struct PlanCache {
+    std::mutex mu;
+    std::unique_ptr<FftPlan> plans[32];
+};
+
+PlanCache& plan_cache() {
+    static PlanCache cache;
+    return cache;
+}
+
+int log2_pow2(int n) {
+    int l = 0;
+    while ((1 << l) < n) ++l;
+    return l;
+}
+
+}  // namespace
+
+const FftPlan& fft_plan(int n) {
+    assert(is_pow2(n));
+    PlanCache& cache = plan_cache();
+    const int slot = log2_pow2(n);
+    std::lock_guard<std::mutex> lock(cache.mu);
+    if (!cache.plans[slot]) cache.plans[slot] = std::make_unique<FftPlan>(n);
+    return *cache.plans[slot];
+}
+
+void fft(std::vector<Complex>& a, bool inverse) {
+    const int n = static_cast<int>(a.size());
+    assert(is_pow2(n));
+    if (n <= 1) return;
+    const FftPlan& plan = fft_plan(n);
+    if (inverse)
+        plan.inverse(a.data());
+    else
+        plan.forward(a.data());
 }
 
 }  // namespace rdp

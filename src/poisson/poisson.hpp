@@ -15,8 +15,19 @@
 //
 // Everything here works in *grid index* units (unit bin spacing). Callers
 // convert the field to physical units by dividing by the physical bin size.
+//
+// 2D transform strategy (see DESIGN.md "Spectral kernel layer"): every pass
+// over the grid is a batch of *contiguous row* transforms. Column
+// (y-direction) transforms are never walked with stride-w loads; instead the
+// grid is transposed with a cache-blocked kernel and the column pass runs as
+// a row pass on the transposed layout. The y-direction passes shared by the
+// potential and field_x (both need a DCT-III in v) are computed once, and
+// field_x's extra w_u factor is folded into the transpose back out of the
+// transposed layout as a per-column scale. One solve is 7 row-batched 1D
+// passes plus 4 blocked transposes.
 
 #include <memory>
+#include <vector>
 
 #include "util/grid2d.hpp"
 
@@ -29,17 +40,32 @@ struct PoissonSolution {
     GridF field_y;
 };
 
+/// Caller-owned scratch + output storage for repeated solves. After the
+/// first solve on a given grid size every buffer is at its steady-state
+/// capacity and subsequent solves perform no allocation at all.
+struct PoissonWorkspace {
+    PoissonSolution sol;  ///< outputs of the most recent solve
+    GridF a;              ///< width x height scratch (input layout)
+    GridF ta;             ///< height x width scratch (transposed layout)
+    GridF tb;             ///< transposed scratch for the y-field spectra
+};
+
 class DctWorkspace;
 
 /// Reusable spectral Poisson solver for a fixed power-of-two grid size.
-/// Holds preallocated transform workspaces, so repeated solves in the
-/// placement loop are allocation-free apart from the result grids.
+/// Holds the per-size transform plans, precomputed spectral multipliers,
+/// and a pool of per-chunk DCT workspaces; all per-solve storage lives in
+/// the caller's PoissonWorkspace.
 ///
-/// The 2D transforms run row/column batches in parallel (deterministic
-/// chunking, see util/parallel.hpp): each chunk of rows (columns) owns a
-/// private DctWorkspace from a pool sized to the chunk plan, which is a
-/// function of the grid dimensions only. Rows write disjoint memory, so no
-/// reduction is involved and results are thread-count invariant.
+/// Determinism: each batched pass runs row chunks in parallel with the
+/// deterministic chunk plans from util/parallel.hpp. The plan is a function
+/// of the grid dimensions only; chunks write disjoint rows and each owns a
+/// private DctWorkspace from a pool sized to the plan, so results are
+/// bitwise identical for any RDP_THREADS.
+///
+/// Concurrency: a single PoissonSolver instance must not run two solves at
+/// the same time (the workspace pool is shared across one solve's chunks,
+/// not across solves). Distinct instances are independent.
 class PoissonSolver {
 public:
     /// Width and height must be powers of two.
@@ -51,54 +77,51 @@ public:
     int width() const { return w_; }
     int height() const { return h_; }
 
-    /// Solve for the given charge density. The density is mean-shifted
-    /// internally to satisfy the compatibility condition, and the returned
-    /// potential has (numerically) zero mean.
-    PoissonSolution solve(const GridF& rho) const;
+    /// Solve for the given charge density, writing potential and field into
+    /// `ws` (resized on first use, reused allocation-free afterwards). The
+    /// density is mean-shifted internally to satisfy the compatibility
+    /// condition and scaled by `charge_scale` (folded into the spectral
+    /// multipliers — no input copy is scaled). Returns `ws.sol`.
+    const PoissonSolution& solve(const GridF& rho, PoissonWorkspace& ws,
+                                 double charge_scale = 1.0) const;
 
-    /// Potential only (cheaper when the field is not needed).
+    /// Potential only (cheaper when the field is not needed); returns
+    /// `ws.sol.potential`.
+    const GridF& solve_potential(const GridF& rho, PoissonWorkspace& ws,
+                                 double charge_scale = 1.0) const;
+
+    /// Convenience value-returning forms for one-off callers and tests.
+    PoissonSolution solve(const GridF& rho) const;
     GridF solve_potential(const GridF& rho) const;
 
 private:
-    void transform_rows_inplace(GridF& g, int kind) const;
-    void transform_cols_inplace(GridF& g, int kind) const;
-    void cosine_coefficients(GridF& rho) const;
-    void subtract_mean(GridF& g) const;
+    enum class Kind { Dct2, Dct3, Idxst };
+
+    static void apply_1d(DctWorkspace& ws, Kind kind, double* x);
+    /// Batched 1D pass over the rows of a width x height (input layout)
+    /// grid: h transforms of length w.
+    void rows_u(GridF& g, Kind kind) const;
+    /// Batched 1D pass over the rows of a height x width (transposed
+    /// layout) grid: w transforms of length h.
+    void rows_v(GridF& g, Kind kind) const;
+    /// dst = rho - mean(rho), resizing dst only on first use.
+    void load_mean_shifted(const GridF& rho, GridF& dst) const;
+    /// In the transposed layout, turn forward DCT coefficients into
+    /// potential spectra (ta) and, when `tb` is non-null, y-field spectra
+    /// (tb = ta * w_v). charge_scale multiplies every coefficient.
+    void apply_spectral(GridF& ta, GridF* tb, double charge_scale) const;
 
     int w_;
     int h_;
-    /// One length-w workspace per row-plan chunk; chunk c of the row loop
-    /// uses row_ws_[c], so concurrent chunks never share scratch state.
-    std::vector<std::unique_ptr<DctWorkspace>> row_ws_;
-    /// One length-h workspace per column-plan chunk.
-    std::vector<std::unique_ptr<DctWorkspace>> col_ws_;
+    std::vector<double> wu_;    ///< w_u = pi u / w, u < w
+    std::vector<double> wv_;    ///< w_v = pi v / h, v < h
+    /// Precomputed p_u p_v / (w h (w_u^2 + w_v^2)) indexed [u * h + v]
+    /// (transposed layout); the (0,0) entry is 0 (zero-mean potential).
+    std::vector<double> spec_;
+    /// One length-w workspace per chunk of the h-row plan (rows_u).
+    std::vector<std::unique_ptr<DctWorkspace>> ws_w_;
+    /// One length-h workspace per chunk of the w-row plan (rows_v).
+    std::vector<std::unique_ptr<DctWorkspace>> ws_h_;
 };
-
-/// Apply a 1D transform to every row (x-direction) of `g`.
-/// `f` maps a length-width vector to a length-width vector.
-template <typename F>
-GridF transform_rows(const GridF& g, F&& f) {
-    GridF out(g.width(), g.height());
-    std::vector<double> buf(static_cast<size_t>(g.width()));
-    for (int y = 0; y < g.height(); ++y) {
-        for (int x = 0; x < g.width(); ++x) buf[x] = g.at(x, y);
-        const std::vector<double> res = f(buf);
-        for (int x = 0; x < g.width(); ++x) out.at(x, y) = res[x];
-    }
-    return out;
-}
-
-/// Apply a 1D transform to every column (y-direction) of `g`.
-template <typename F>
-GridF transform_cols(const GridF& g, F&& f) {
-    GridF out(g.width(), g.height());
-    std::vector<double> buf(static_cast<size_t>(g.height()));
-    for (int x = 0; x < g.width(); ++x) {
-        for (int y = 0; y < g.height(); ++y) buf[y] = g.at(x, y);
-        const std::vector<double> res = f(buf);
-        for (int y = 0; y < g.height(); ++y) out.at(x, y) = res[y];
-    }
-    return out;
-}
 
 }  // namespace rdp

@@ -84,4 +84,20 @@ void grid_add(GridF& a, const GridF& b);
 /// Elementwise multiply by a scalar.
 void grid_scale(GridF& g, double s);
 
+/// Copy src into dst, resizing only when the dimensions differ — repeated
+/// calls on a matching dst are allocation-free.
+void grid_copy_into(const GridF& src, GridF& dst);
+
+/// Cache-blocked transpose: dst.at(j, i) = src.at(i, j), with dst resized
+/// to (src.height() x src.width()) only when its dimensions differ. When
+/// `dst_col_scale` is non-null (length src.height() = dst.width()), every
+/// output entry is additionally scaled by dst_col_scale[j] — this lets the
+/// spectral Poisson solver fold a per-spectral-index factor into the
+/// transpose for free. The tile size comes from the RDP_TRANSPOSE_BLOCK
+/// env knob (default 32); writes are elementwise-disjoint and the block
+/// decomposition depends only on the grid dimensions, so results are
+/// bitwise identical at any thread count.
+void grid_transpose_into(const GridF& src, GridF& dst,
+                         const double* dst_col_scale = nullptr);
+
 }  // namespace rdp

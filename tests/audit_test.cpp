@@ -56,11 +56,11 @@ PlacerConfig fast_cfg() {
 
 TEST_F(AuditTest, RegistryListsAllAuditors) {
     const auto& reg = audit::registered_auditors();
-    ASSERT_EQ(reg.size(), 7u);
+    ASSERT_EQ(reg.size(), 8u);
     const char* expected[] = {"finite-gradients", "density-mass",
                               "router-accounting", "incremental-route",
-                              "congestion-finite", "inflation-budget",
-                              "legalized"};
+                              "congestion-finite", "spectral-finite",
+                              "inflation-budget",  "legalized"};
     for (const char* name : expected) {
         bool found = false;
         for (const auto& info : reg) found |= std::string(info.name) == name;
@@ -121,6 +121,7 @@ TEST_F(AuditTest, CleanFlowRunsEveryAuditorWithoutTripping) {
     EXPECT_GT(audit::runs("density-mass"), 0);
     EXPECT_GT(audit::runs("router-accounting"), 0);
     EXPECT_GT(audit::runs("incremental-route"), 0);
+    EXPECT_GT(audit::runs("spectral-finite"), 0);
     EXPECT_GT(audit::runs("inflation-budget"), 0);
     EXPECT_GT(audit::runs("legalized"), 0);
 }
@@ -205,6 +206,39 @@ TEST_F(AuditTest, DensityMassAuditorTripsOnLostCharge) {
     } catch (const AuditFailure& e) {
         EXPECT_EQ(e.invariant(), "density-mass");
         EXPECT_EQ(e.stage(), "wirelength-gp");
+    }
+}
+
+TEST_F(AuditTest, SpectralFiniteTripsOnNanPotential) {
+    const Design d = small_circuit();
+    const BinGrid grid(d.region, 16, 16);
+    const ElectroDensity density(grid);
+    EXPECT_NO_THROW(density.evaluate(d));
+    EXPECT_GT(audit::runs("spectral-finite"), 0);
+
+    GridF psi(8, 8), ex(8, 8), ey(8, 8);
+    EXPECT_NO_THROW(audit::check_spectral_finite("density", psi, ex, ey));
+    psi.at(5, 2) = std::numeric_limits<double>::quiet_NaN();
+    const AuditStageScope scope("wirelength-gp");
+    try {
+        audit::check_spectral_finite("density", psi, ex, ey);
+        FAIL() << "NaN potential did not trip";
+    } catch (const AuditFailure& e) {
+        EXPECT_EQ(e.invariant(), "spectral-finite");
+        EXPECT_EQ(e.stage(), "wirelength-gp");
+        EXPECT_NE(std::string(e.what()).find("potential"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("(5, 2)"), std::string::npos);
+    }
+    psi.at(5, 2) = 0.0;
+
+    // Field corruption is reported with the offending map's name.
+    ey.at(0, 7) = -std::numeric_limits<double>::infinity();
+    try {
+        audit::check_spectral_finite("congestion", psi, ex, ey);
+        FAIL() << "infinite field did not trip";
+    } catch (const AuditFailure& e) {
+        EXPECT_NE(std::string(e.what()).find("field-y"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("congestion"), std::string::npos);
     }
 }
 

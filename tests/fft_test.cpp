@@ -55,6 +55,48 @@ TEST(FftTest, SingleToneBin) {
     }
 }
 
+TEST(FftPlanTest, CacheReturnsOneInstancePerSize) {
+    const FftPlan& a = fft_plan(64);
+    const FftPlan& b = fft_plan(64);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.size(), 64);
+    EXPECT_NE(&a, &fft_plan(128));
+}
+
+TEST(FftPlanTest, ForwardMatchesNaiveDft) {
+    const int n = 16;
+    const auto xr = random_signal(n, 42);
+    const auto xi = random_signal(n, 43);
+    std::vector<Complex> a(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) a[static_cast<size_t>(i)] = {xr[i], xi[i]};
+
+    std::vector<Complex> ref(static_cast<size_t>(n));
+    for (int k = 0; k < n; ++k)
+        for (int j = 0; j < n; ++j)
+            ref[static_cast<size_t>(k)] +=
+                a[static_cast<size_t>(j)] *
+                std::polar(1.0, -2.0 * M_PI * k * j / n);
+
+    fft_plan(n).forward(a.data());
+    for (int k = 0; k < n; ++k) {
+        EXPECT_NEAR(a[k].real(), ref[k].real(), 1e-10) << "bin " << k;
+        EXPECT_NEAR(a[k].imag(), ref[k].imag(), 1e-10) << "bin " << k;
+    }
+}
+
+TEST(FftPlanTest, InPlaceRoundTrip) {
+    const int n = 256;
+    const FftPlan& plan = fft_plan(n);
+    const auto x = random_signal(n, 44);
+    std::vector<Complex> a(x.begin(), x.end());
+    plan.forward(a.data());
+    plan.inverse(a.data());
+    for (int i = 0; i < n; ++i) {
+        EXPECT_NEAR(a[i].real(), x[i], 1e-10);
+        EXPECT_NEAR(a[i].imag(), 0.0, 1e-10);
+    }
+}
+
 class FftRoundTrip : public ::testing::TestWithParam<int> {};
 
 TEST_P(FftRoundTrip, InverseRecoversInput) {
@@ -72,7 +114,8 @@ TEST_P(FftRoundTrip, InverseRecoversInput) {
 TEST_P(FftRoundTrip, Parseval) {
     const int n = GetParam();
     const auto x = random_signal(n, 2000 + n);
-    auto a = fft_real(x);
+    std::vector<Complex> a(x.begin(), x.end());
+    fft(a, /*inverse=*/false);
     double time_e = 0.0, freq_e = 0.0;
     for (double v : x) time_e += v * v;
     for (const Complex& c : a) freq_e += std::norm(c);
@@ -115,8 +158,24 @@ TEST_P(DctAgainstNaive, Idct2IsExactInverse) {
     for (int i = 0; i < n; ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
 }
 
+TEST_P(DctAgainstNaive, Dct3OfDct2IsScaledShiftedIdentity) {
+    // From DCT-II/III orthogonality: dct3(dct2(x))[i] = (n/2) x[i] +
+    // (sum x)/2 — a sharp end-to-end check of both fast transforms.
+    const int n = GetParam();
+    const auto x = random_signal(n, 7000 + n);
+    double total = 0.0;
+    for (double v : x) total += v;
+    const auto y = dct3(dct2(x));
+    for (int i = 0; i < n; ++i)
+        EXPECT_NEAR(y[i], 0.5 * n * x[i] + 0.5 * total, 1e-8 * n);
+}
+
+// Every power of two through 1024 — both 1D lengths a pow-2 placement grid
+// up to 1024x1024 can feed the solver, including the rectangular W != H
+// combinations (each axis is transformed independently).
 INSTANTIATE_TEST_SUITE_P(Sizes, DctAgainstNaive,
-                         ::testing::Values(2, 4, 8, 16, 32, 128));
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                           1024));
 
 TEST(DctTest, Dct2OfConstant) {
     // DCT-II of a constant: X[0] = N*c, X[k>0] = 0.
