@@ -19,9 +19,13 @@
 #include "router/global_router.hpp"
 #include "router/incremental.hpp"
 #include "router/net_decompose.hpp"
+#include "grid/splat_kernel.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "wirelength/hpwl.hpp"
+#include "wirelength/wa_kernel.hpp"
 #include "wirelength/wa_model.hpp"
 
 namespace {
@@ -674,6 +678,432 @@ BENCHMARK(BM_RouterRrrRoundThreads)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// --- SIMD kernel benchmarks ----------------------------------------------
+// Single-thread speedup of the vectorized hot kernels (DESIGN.md §14)
+// against faithful copies of the pre-SIMD scalar code they replaced, in the
+// same binary on the same host. The baselines are source copies — NOT
+// ScalarVecD instantiations — so the comparison is honest even where the
+// compiler could auto-vectorize the 4-lane wrapper under -mavx2.
+// `run_benches.sh --json` records the BM_Simd* pairs in BENCH_simd.json.
+namespace presimd {
+
+/// Pre-SIMD WAWirelength::wa_1d, verbatim minus the class wrapper.
+double wa_1d(const double* xs, size_t n, double gamma, double* wp, double* wm,
+             double* grad) {
+    double xmax = xs[0], xmin = xs[0];
+    for (size_t i = 1; i < n; ++i) {
+        xmax = std::max(xmax, xs[i]);
+        xmin = std::min(xmin, xs[i]);
+    }
+    double sp = 0.0, ap = 0.0, sm = 0.0, am = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        wp[i] = std::exp((xs[i] - xmax) / gamma);
+        wm[i] = std::exp((xmin - xs[i]) / gamma);
+        sp += wp[i];
+        ap += xs[i] * wp[i];
+        sm += wm[i];
+        am += xs[i] * wm[i];
+    }
+    const double fp = ap / sp;
+    const double fm = am / sm;
+    for (size_t j = 0; j < n; ++j) {
+        const double dp = (wp[j] / sp) * (1.0 + (xs[j] - fp) / gamma);
+        const double dm = (wm[j] / sm) * (1.0 - (xs[j] - fm) / gamma);
+        grad[j] = dp - dm;
+    }
+    return fp - fm;
+}
+
+/// Pre-SIMD BinGrid::splat_area: the for_each_overlap deposit loop.
+void splat_area(const BinGrid& grid, GridF& g, const Rect& r, double scale) {
+    grid.for_each_overlap(
+        r, [&](int ix, int iy, double a) { g.at(ix, iy) += a * scale; });
+}
+
+/// Pre-SIMD density gather: the for_each_overlap loop of electro_density.
+void gather(const BinGrid& grid, const GridF& pot, const GridF& fx,
+            const GridF& fy, const Rect& r, double scale, double& psi,
+            double& ex, double& ey) {
+    psi = ex = ey = 0.0;
+    grid.for_each_overlap(r, [&](int ix, int iy, double a) {
+        const double w = a * scale;
+        psi += w * pot.at(ix, iy);
+        ex += w * fx.at(ix, iy);
+        ey += w * fy.at(ix, iy);
+    });
+}
+
+/// Pre-SIMD FftPlan: same tables, scalar strided-twiddle butterfly loop.
+struct Fft {
+    int n;
+    std::vector<int> rev;
+    std::vector<Complex> tw;
+
+    explicit Fft(int n_) : n(n_), rev(static_cast<size_t>(n_)) {
+        for (int i = 1; i < n; ++i)
+            rev[static_cast<size_t>(i)] =
+                (rev[static_cast<size_t>(i >> 1)] >> 1) |
+                ((i & 1) ? n >> 1 : 0);
+        tw.resize(static_cast<size_t>(n / 2));
+        for (int k = 0; k < n / 2; ++k) {
+            const double ang = -2.0 * M_PI * k / n;
+            tw[static_cast<size_t>(k)] = {std::cos(ang), std::sin(ang)};
+        }
+    }
+
+    template <bool Inverse>
+    void transform(Complex* a) const {
+        if (n <= 1) return;
+        for (int i = 1; i < n; ++i) {
+            const int j = rev[static_cast<size_t>(i)];
+            if (i < j) std::swap(a[i], a[j]);
+        }
+        for (int i = 0; i < n; i += 2) {
+            const Complex u = a[i];
+            const Complex v = a[i + 1];
+            a[i] = u + v;
+            a[i + 1] = u - v;
+        }
+        for (int len = 4; len <= n; len <<= 1) {
+            const int half = len >> 1;
+            const int stride = n / len;
+            for (int i = 0; i < n; i += len) {
+                Complex* lo = a + i;
+                Complex* hi = a + i + half;
+                for (int j = 0; j < half; ++j) {
+                    const Complex& w = tw[static_cast<size_t>(j * stride)];
+                    const double wr = w.real();
+                    const double wi = Inverse ? -w.imag() : w.imag();
+                    const double hr = hi[j].real(), hi_ = hi[j].imag();
+                    const double vr = hr * wr - hi_ * wi;
+                    const double vi = hr * wi + hi_ * wr;
+                    const double ur = lo[j].real(), ui = lo[j].imag();
+                    lo[j] = {ur + vr, ui + vi};
+                    hi[j] = {ur - vr, ui - vi};
+                }
+            }
+        }
+        if (Inverse) {
+            const double inv = 1.0 / n;
+            for (int i = 0; i < n; ++i) a[i] *= inv;
+        }
+    }
+};
+
+/// Pre-SIMD DctWorkspace::dct2 on top of the scalar half-size FFT.
+struct Dct {
+    int n, m;
+    Fft fft;
+    std::vector<double> cs, sn;
+    std::vector<Complex> wr;
+    std::vector<Complex> buf;
+    std::vector<double> tmp;
+
+    explicit Dct(int n_)
+        : n(n_),
+          m(n_ / 2),
+          fft(n_ / 2),
+          cs(static_cast<size_t>(n_)),
+          sn(static_cast<size_t>(n_)),
+          wr(static_cast<size_t>(n_ / 2) + 1),
+          buf(static_cast<size_t>(n_ / 2)),
+          tmp(static_cast<size_t>(n_)) {
+        for (int k = 0; k < n; ++k) {
+            const double ang = M_PI * k / (2.0 * n);
+            cs[static_cast<size_t>(k)] = std::cos(ang);
+            sn[static_cast<size_t>(k)] = std::sin(ang);
+        }
+        for (int k = 0; k <= m; ++k) {
+            const double ang = -2.0 * M_PI * k / n;
+            wr[static_cast<size_t>(k)] = {std::cos(ang), std::sin(ang)};
+        }
+    }
+
+    void dct2(double* x) {
+        if (n == 1) return;
+        for (int i = 0; i < m; ++i) tmp[static_cast<size_t>(i)] = x[2 * i];
+        for (int i = 0; i < m; ++i)
+            tmp[static_cast<size_t>(n - 1 - i)] = x[2 * i + 1];
+        for (int k = 0; k < m; ++k)
+            buf[static_cast<size_t>(k)] = {tmp[static_cast<size_t>(2 * k)],
+                                           tmp[static_cast<size_t>(2 * k + 1)]};
+        fft.transform<false>(buf.data());
+        x[0] = buf[0].real() + buf[0].imag();
+        x[m] = (buf[0].real() - buf[0].imag()) * cs[static_cast<size_t>(m)];
+        for (int k = 1; k < m; ++k) {
+            const Complex z = buf[static_cast<size_t>(k)];
+            const Complex y = buf[static_cast<size_t>(m - k)];
+            const double er = 0.5 * (z.real() + y.real());
+            const double ei = 0.5 * (z.imag() - y.imag());
+            const double odr = 0.5 * (z.imag() + y.imag());
+            const double odi = -0.5 * (z.real() - y.real());
+            const Complex w = wr[static_cast<size_t>(k)];
+            const double vr = er + w.real() * odr - w.imag() * odi;
+            const double vi = ei + w.real() * odi + w.imag() * odr;
+            x[k] = vr * cs[static_cast<size_t>(k)] +
+                   vi * sn[static_cast<size_t>(k)];
+            x[n - k] = vr * cs[static_cast<size_t>(n - k)] -
+                       vi * sn[static_cast<size_t>(n - k)];
+        }
+    }
+};
+
+}  // namespace presimd
+
+/// A batch of WA "nets" with placement-realistic degree mix.
+struct WaBatch {
+    std::vector<double> xs;        ///< flat coordinates
+    std::vector<size_t> offsets;   ///< net i: [offsets[i], offsets[i+1])
+    std::vector<double> wp, wm, grad;
+
+    explicit WaBatch(int nets) {
+        Rng rng(77);
+        const int degrees[] = {2, 3, 3, 4, 5, 8, 16, 33, 64};
+        offsets.push_back(0);
+        for (int i = 0; i < nets; ++i) {
+            const int deg = degrees[static_cast<size_t>(i) % 9];
+            for (int j = 0; j < deg; ++j)
+                xs.push_back(rng.uniform(0.0, 1000.0));
+            offsets.push_back(xs.size());
+        }
+        wp.resize(wa::padded_size(xs.size()));
+        wm.resize(wp.size());
+        grad.resize(xs.size());
+    }
+};
+
+void BM_SimdWaLegacy(benchmark::State& state) {
+    WaBatch b(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        double total = 0.0;
+        for (size_t i = 0; i + 1 < b.offsets.size(); ++i) {
+            const size_t o = b.offsets[i], n = b.offsets[i + 1] - o;
+            total += presimd::wa_1d(b.xs.data() + o, n, 8.0, b.wp.data() + o,
+                                    b.wm.data() + o, b.grad.data() + o);
+        }
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_SimdWaLegacy)->Arg(2048);
+
+void BM_SimdWa(benchmark::State& state) {
+    WaBatch b(static_cast<int>(state.range(0)));
+    // Per-net scratch at offset 0 like production (padded per call).
+    std::vector<double> wp(wa::padded_size(70)), wm(wp.size());
+    for (auto _ : state) {
+        double total = 0.0;
+        for (size_t i = 0; i + 1 < b.offsets.size(); ++i) {
+            const size_t o = b.offsets[i], n = b.offsets[i + 1] - o;
+            total += wa::wa_1d_core<simd::VecD>(b.xs.data() + o, n, 8.0,
+                                                wp.data(), wm.data(),
+                                                b.grad.data() + o);
+        }
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_SimdWa)->Arg(2048);
+
+/// Random rects over a 256x256 grid with row spans up to ~32 bins — the
+/// shape of density footprints (few bins) through RUDY boxes (wide).
+struct SplatBatch {
+    BinGrid grid{Rect{0.0, 0.0, 1024.0, 1024.0}, 256, 256};
+    std::vector<Rect> rects;
+    std::vector<double> scales;
+
+    explicit SplatBatch(int count) {
+        Rng rng(78);
+        for (int i = 0; i < count; ++i) {
+            const double w = rng.uniform(2.0, 128.0);
+            const double h = rng.uniform(2.0, 128.0);
+            const double x0 = rng.uniform(-16.0, 1024.0 - w + 16.0);
+            const double y0 = rng.uniform(-16.0, 1024.0 - h + 16.0);
+            rects.push_back({x0, y0, x0 + w, y0 + h});
+            scales.push_back(rng.uniform(0.1, 2.0));
+        }
+    }
+};
+
+void BM_SimdScatterLegacy(benchmark::State& state) {
+    SplatBatch b(static_cast<int>(state.range(0)));
+    GridF g = b.grid.make_grid();
+    for (auto _ : state) {
+        for (size_t i = 0; i < b.rects.size(); ++i)
+            presimd::splat_area(b.grid, g, b.rects[i], b.scales[i]);
+        benchmark::DoNotOptimize(g.data());
+    }
+}
+BENCHMARK(BM_SimdScatterLegacy)->Arg(4096);
+
+void BM_SimdScatter(benchmark::State& state) {
+    SplatBatch b(static_cast<int>(state.range(0)));
+    GridF g = b.grid.make_grid();
+    for (auto _ : state) {
+        for (size_t i = 0; i < b.rects.size(); ++i)
+            splat_rect<simd::VecD>(b.grid, g, b.rects[i], b.scales[i]);
+        benchmark::DoNotOptimize(g.data());
+    }
+}
+BENCHMARK(BM_SimdScatter)->Arg(4096);
+
+void BM_SimdGatherLegacy(benchmark::State& state) {
+    SplatBatch b(static_cast<int>(state.range(0)));
+    Rng rng(79);
+    GridF pot = b.grid.make_grid(), fx = b.grid.make_grid(),
+          fy = b.grid.make_grid();
+    for (auto& v : pot.raw()) v = rng.uniform(-1.0, 1.0);
+    for (auto& v : fx.raw()) v = rng.uniform(-1.0, 1.0);
+    for (auto& v : fy.raw()) v = rng.uniform(-1.0, 1.0);
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (size_t i = 0; i < b.rects.size(); ++i) {
+            double psi, ex, ey;
+            presimd::gather(b.grid, pot, fx, fy, b.rects[i], b.scales[i], psi,
+                            ex, ey);
+            acc += psi + ex + ey;
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_SimdGatherLegacy)->Arg(4096);
+
+void BM_SimdGather(benchmark::State& state) {
+    SplatBatch b(static_cast<int>(state.range(0)));
+    Rng rng(79);
+    GridF pot = b.grid.make_grid(), fx = b.grid.make_grid(),
+          fy = b.grid.make_grid();
+    for (auto& v : pot.raw()) v = rng.uniform(-1.0, 1.0);
+    for (auto& v : fx.raw()) v = rng.uniform(-1.0, 1.0);
+    for (auto& v : fy.raw()) v = rng.uniform(-1.0, 1.0);
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (size_t i = 0; i < b.rects.size(); ++i) {
+            const GatherAcc a = gather_rect<simd::VecD, true>(
+                b.grid, pot, fx, fy, b.rects[i], b.scales[i]);
+            acc += a.psi + a.ex + a.ey;
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_SimdGather)->Arg(4096);
+
+void BM_SimdFftLegacy(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const presimd::Fft plan(n);
+    Rng rng(80);
+    std::vector<Complex> a(static_cast<size_t>(n));
+    for (auto& v : a) v = {rng.uniform(), rng.uniform()};
+    std::vector<Complex> work(a.size());
+    for (auto _ : state) {
+        work = a;
+        plan.transform<false>(work.data());
+        benchmark::DoNotOptimize(work.data());
+    }
+}
+BENCHMARK(BM_SimdFftLegacy)->Arg(1024);
+
+void BM_SimdFft(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const FftPlan& plan = fft_plan(n);
+    Rng rng(80);
+    std::vector<Complex> a(static_cast<size_t>(n));
+    for (auto& v : a) v = {rng.uniform(), rng.uniform()};
+    std::vector<Complex> work(a.size());
+    for (auto _ : state) {
+        work = a;
+        plan.forward(work.data());
+        benchmark::DoNotOptimize(work.data());
+    }
+}
+BENCHMARK(BM_SimdFft)->Arg(1024);
+
+void BM_SimdDctLegacy(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    presimd::Dct ws(n);
+    Rng rng(81);
+    std::vector<double> x(static_cast<size_t>(n));
+    for (auto& v : x) v = rng.uniform();
+    std::vector<double> work(x.size());
+    for (auto _ : state) {
+        work = x;
+        ws.dct2(work.data());
+        benchmark::DoNotOptimize(work.data());
+    }
+}
+BENCHMARK(BM_SimdDctLegacy)->Arg(1024);
+
+void BM_SimdDct(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    DctWorkspace ws(n);
+    Rng rng(81);
+    std::vector<double> x(static_cast<size_t>(n));
+    for (auto& v : x) v = rng.uniform();
+    std::vector<double> work(x.size());
+    for (auto _ : state) {
+        work = x;
+        ws.dct2(work.data());
+        benchmark::DoNotOptimize(work.data());
+    }
+}
+BENCHMARK(BM_SimdDct)->Arg(1024);
+
+/// RUDY per-bin accumulation: the same net boxes/densities deposited with
+/// the pre-SIMD overlap loop vs the vectorized row kernel.
+struct RudyBatch {
+    Design d;
+    BinGrid grid;
+    std::vector<Rect> bbs;
+    std::vector<double> dens;
+
+    explicit RudyBatch(int cells) : d(bench_design(cells)), grid(d.region, 64, 64) {
+        const RudyConfig cfg;
+        const double mean_extent = 0.5 * (grid.bin_w() + grid.bin_h());
+        for (const Net& net : d.nets) {
+            if (net.degree() < 2 || net.degree() > cfg.max_degree) continue;
+            Rect bb = net_bbox(d, net);
+            if (bb.width() < grid.bin_w())
+                bb = Rect::from_center(bb.center(), grid.bin_w(), bb.height());
+            if (bb.height() < grid.bin_h())
+                bb = Rect::from_center(bb.center(), bb.width(), grid.bin_h());
+            const double wl = bb.width() + bb.height();
+            const double area = bb.area();
+            bbs.push_back(bb);
+            dens.push_back(area > 0.0 ? net.weight * wl / (area * mean_extent)
+                                      : 0.0);
+        }
+    }
+};
+
+void BM_SimdRudyLegacy(benchmark::State& state) {
+    RudyBatch b(static_cast<int>(state.range(0)));
+    GridF g = b.grid.make_grid();
+    for (auto _ : state) {
+        for (size_t i = 0; i < b.bbs.size(); ++i)
+            presimd::splat_area(b.grid, g, b.bbs[i], b.dens[i]);
+        benchmark::DoNotOptimize(g.data());
+    }
+}
+BENCHMARK(BM_SimdRudyLegacy)->Arg(4000);
+
+void BM_SimdRudy(benchmark::State& state) {
+    RudyBatch b(static_cast<int>(state.range(0)));
+    GridF g = b.grid.make_grid();
+    for (auto _ : state) {
+        for (size_t i = 0; i < b.bbs.size(); ++i)
+            splat_rect<simd::VecD>(b.grid, g, b.bbs[i], b.dens[i]);
+        benchmark::DoNotOptimize(g.data());
+    }
+}
+BENCHMARK(BM_SimdRudy)->Arg(4000);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    // Records which backend produced BENCH_simd.json ("avx2" / "neon" /
+    // "scalar") in the benchmark context block.
+    benchmark::AddCustomContext("rdp_simd", rdp::simd::backend_name());
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -15,6 +15,13 @@
 #                       kernel) at 64..1024, plus the BM_Dct2d* row/column
 #                       pass shapes — the Solve/SolveLegacy ratio at each
 #                       size is the PR-over-PR speedup record
+#   BENCH_simd.json     SIMD kernel benches: each BM_Simd<Kernel> (wirelength
+#                       exp/gradient, density scatter/gather, FFT/DCT
+#                       butterflies, RUDY splat) next to its
+#                       BM_Simd<Kernel>Legacy twin — a faithful source copy
+#                       of the pre-SIMD scalar loop — so the Legacy/<Kernel>
+#                       ratio is the single-thread vectorization speedup;
+#                       the JSON context carries the active rdp_simd backend
 # so the perf trajectory is machine-trackable across PRs.
 export RDP_SCALE=${RDP_SCALE:-0.5}
 cd "$(dirname "$0")"
@@ -31,6 +38,14 @@ if [ "$1" = "--json" ]; then
     --benchmark_filter='PoissonSolve|Dct2d' \
     --benchmark_min_time=0.2 \
     --benchmark_out=BENCH_poisson.json --benchmark_out_format=json \
+    2>/dev/null || exit $?
+  echo "=== rdplace simd bench (JSON -> BENCH_simd.json) ==="
+  # min_time 0.5: the Legacy/vectorized ratios gate PRs, so keep the
+  # sample long enough that scheduler noise cannot flip a 2x verdict.
+  ./build/bench/micro_kernels \
+    --benchmark_filter='BM_Simd' \
+    --benchmark_min_time=0.5 \
+    --benchmark_out=BENCH_simd.json --benchmark_out_format=json \
     2>/dev/null
   exit $?
 fi

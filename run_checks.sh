@@ -5,11 +5,17 @@
 #   1. format check      clang-format --dry-run over src/ and tests/
 #   2. default build     RDP_WERROR=ON + full ctest suite
 #   3. clang-tidy        over src/ via the exported compile_commands.json
-#   4. sanitizer matrix  address, undefined, address;undefined -> ctest -L sanitize
+#   4. scalar build      RDP_SIMD=scalar build + full ctest suite (the
+#                        portable fallback backend must pass everything the
+#                        native-SIMD build passes, bit for bit)
+#   5. sanitizer matrix  address, undefined, address;undefined -> ctest -L sanitize
 #                        thread                                -> ctest -L parallel
 #                        plus explicit ASan+UBSan passes: ctest -L recover
-#                        (fault injection) and RDP_INCREMENTAL=1 ctest -L
-#                        router (persistent route/RUDY caches forced on)
+#                        (fault injection), RDP_INCREMENTAL=1 ctest -L
+#                        router (persistent route/RUDY caches forced on),
+#                        ctest -L poisson (spectral kernels), and ctest -L
+#                        simd (vector backends / stable_exp / kernel
+#                        equivalence)
 #
 # Any failing step fails the script (non-zero exit). Tools missing from the
 # host (clang-format / clang-tidy) skip their step with a notice so the
@@ -65,6 +71,7 @@ if cmake -B build-checks -S . -DRDP_WERROR=ON >/dev/null &&
     require_label build-checks recover
     require_label build-checks router
     require_label build-checks poisson
+    require_label build-checks simd
     if ! ctest --test-dir build-checks --output-on-failure -j "$JOBS"; then
         record_failure "default ctest"
     fi
@@ -72,7 +79,21 @@ else
     record_failure "default build"
 fi
 
-# ---- 3. clang-tidy over src/ (skip when unavailable) ----------------------
+# ---- 3. forced-scalar SIMD backend + full test suite ----------------------
+# The scalar backend is the portability fallback for hosts without AVX2/
+# NEON; it must pass the full suite, and the determinism tests inside it
+# must see the same bits the native-SIMD build produces.
+note "scalar SIMD backend (RDP_SIMD=scalar) + ctest"
+if cmake -B build-scalar -S . -DRDP_SIMD=scalar >/dev/null &&
+   cmake --build build-scalar -j "$JOBS"; then
+    if ! ctest --test-dir build-scalar --output-on-failure -j "$JOBS"; then
+        record_failure "scalar-backend ctest"
+    fi
+else
+    record_failure "scalar-backend build"
+fi
+
+# ---- 4. clang-tidy over src/ (skip when unavailable) ----------------------
 note "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
     if [[ -f build-checks/compile_commands.json ]]; then
@@ -87,7 +108,7 @@ else
     echo "clang-tidy not found: skipping the static-analysis gate"
 fi
 
-# ---- 4. sanitizer matrix --------------------------------------------------
+# ---- 5. sanitizer matrix --------------------------------------------------
 if [[ "$FAST" == 0 ]]; then
     sanitize_config() {
         local preset="$1" label="$2"
@@ -140,6 +161,17 @@ if [[ "$FAST" == 0 ]]; then
         if ! ctest --test-dir build-san-address-undefined -L poisson \
                    --output-on-failure -j "$JOBS"; then
             record_failure "spectral kernels (asan+ubsan)"
+        fi
+    fi
+
+    # SIMD layer under ASan+UBSan: the vector loads/stores around chunk
+    # tails (maskload/partial stores, padded scratch rows, interleaved
+    # twiddle tables) are exactly where an off-by-one reads past a buffer.
+    note "SIMD kernels under ASan+UBSan (ctest -L simd)"
+    if require_label build-san-address-undefined simd; then
+        if ! ctest --test-dir build-san-address-undefined -L simd \
+                   --output-on-failure -j "$JOBS"; then
+            record_failure "simd kernels (asan+ubsan)"
         fi
     fi
 

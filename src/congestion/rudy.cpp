@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "grid/splat_kernel.hpp"
+#include "util/simd.hpp"
 #include "wirelength/hpwl.hpp"
 
 namespace rdp {
@@ -95,10 +97,12 @@ void rudy_maps_impl(const Design& d, const BinGrid& grid,
                 continue;
             }
             net_bb_density(d, grid, net, S.net_bb[ni], S.net_density[ni]);
-            const double density = S.net_density[ni];
-            grid.for_each_overlap(S.net_bb[ni], [&](int ix, int iy, double a) {
-                S.wire.at(ix, iy) += density * a;
-            });
+            // Row-vectorized per-bin accumulation. IEEE multiplication is
+            // commutative bit for bit, so density*a from the scalar dirty
+            // path below equals the kernel's a*density exactly — the
+            // incremental-vs-fresh bitwise invariant is preserved.
+            splat_rect<simd::VecD>(grid, S.wire, S.net_bb[ni],
+                                   S.net_density[ni]);
             ++S.stats.nets_rescanned;
         }
         for (size_t p = 0; p < num_pins; ++p) {

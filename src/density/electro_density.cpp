@@ -5,7 +5,9 @@
 #include <cmath>
 
 #include "audit/invariant_audit.hpp"
+#include "grid/splat_kernel.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 
 namespace rdp {
 
@@ -128,20 +130,22 @@ DensityResult ElectroDensity::evaluate(const Design& d,
                 (c.movable() && inflation != nullptr) ? (*inflation)[i] : 1.0;
             const EffBox eb = c.movable() ? effective_box(c, r, grid_)
                                           : EffBox{c.bbox(), 1.0};
-            double psi_acc = 0.0, ex_acc = 0.0, ey_acc = 0.0;
-            grid_.for_each_overlap(eb.box, [&](int ix, int iy, double a) {
-                const double w = a * eb.scale;
-                psi_acc += w * sol.potential.at(ix, iy);
-                if (c.movable()) {
-                    ex_acc += w * sol.field_x.at(ix, iy);
-                    ey_acc += w * sol.field_y.at(ix, iy);
-                }
-            });
-            psi_chunk += 0.5 * psi_acc;
+            // Row-vectorized footprint gather (grid/splat_kernel.hpp);
+            // fixed cells skip the field loads entirely.
+            const GatherAcc acc =
+                c.movable()
+                    ? gather_rect<simd::VecD, true>(grid_, sol.potential,
+                                                    sol.field_x, sol.field_y,
+                                                    eb.box, eb.scale)
+                    : gather_rect<simd::VecD, false>(grid_, sol.potential,
+                                                     sol.potential,
+                                                     sol.potential, eb.box,
+                                                     eb.scale);
+            psi_chunk += 0.5 * acc.psi;
             if (!c.movable()) continue;
             // dD/dx_i = q_i d(psi)/dx = -q_i E, footprint-averaged and
             // converted to physical units.
-            res.cell_grad[i] = Vec2{-ex_acc * inv_bw, -ey_acc * inv_bh};
+            res.cell_grad[i] = Vec2{-acc.ex * inv_bw, -acc.ey * inv_bh};
         }
         return psi_chunk;
     });

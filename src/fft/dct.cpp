@@ -6,7 +6,9 @@
 #include <memory>
 #include <mutex>
 
+#include "fft/dct_kernel.hpp"
 #include "fft/fft.hpp"
+#include "util/simd.hpp"
 
 namespace rdp {
 
@@ -68,110 +70,24 @@ DctWorkspace::DctWorkspace(int n)
 //   V[k] = E[k] + W^k O[k],  E = (Z[k]+conj(Z[M-k]))/2,
 //   O = -i (Z[k]-conj(Z[M-k]))/2,  W = e^{-2 pi i / N},
 // with the Hermitian tail V[N-k] = conj(V[k]) folded into the output pass.
-void DctWorkspace::dct2(double* x) {
-    const DctPlan& p = *plan_;
-    const int n = p.n_, m = p.m_;
-    if (n == 1) return;
-
-    for (int i = 0; i < m; ++i) tmp_[static_cast<size_t>(i)] = x[2 * i];
-    for (int i = 0; i < m; ++i)
-        tmp_[static_cast<size_t>(n - 1 - i)] = x[2 * i + 1];
-    for (int k = 0; k < m; ++k)
-        buf_[static_cast<size_t>(k)] = {tmp_[static_cast<size_t>(2 * k)],
-                                        tmp_[static_cast<size_t>(2 * k + 1)]};
-    p.fft_->forward(buf_.data());
-
-    // k = 0 and k = m: V[0] and V[m] are real.
-    x[0] = buf_[0].real() + buf_[0].imag();
-    x[m] = (buf_[0].real() - buf_[0].imag()) * p.cos_[static_cast<size_t>(m)];
-    for (int k = 1; k < m; ++k) {
-        const Complex z = buf_[static_cast<size_t>(k)];
-        const Complex y = buf_[static_cast<size_t>(m - k)];
-        const double er = 0.5 * (z.real() + y.real());
-        const double ei = 0.5 * (z.imag() - y.imag());
-        const double odr = 0.5 * (z.imag() + y.imag());
-        const double odi = -0.5 * (z.real() - y.real());
-        const Complex w = p.wr_[static_cast<size_t>(k)];
-        const double vr = er + w.real() * odr - w.imag() * odi;
-        const double vi = ei + w.real() * odi + w.imag() * odr;
-        x[k] = vr * p.cos_[static_cast<size_t>(k)] +
-               vi * p.sin_[static_cast<size_t>(k)];
-        x[n - k] = vr * p.cos_[static_cast<size_t>(n - k)] -
-                   vi * p.sin_[static_cast<size_t>(n - k)];
-    }
-}
+// The loop bodies live in fft/dct_kernel.hpp, templated on the SIMD vector
+// type; these entry points instantiate the active backend.
+void DctWorkspace::dct2(double* x) { dct2_with<simd::VecD>(x); }
 
 // Exact inverse of dct2: rebuild the half spectrum V[0..m] from X using the
 // Hermitian symmetry (Z[k] = X[k] - i X[N-k], V[k] = e^{+i pi k/(2N)} Z[k]),
 // repack into the M-point spectrum, inverse-FFT, and undo the reordering.
-void DctWorkspace::idct2(double* x) {
-    const DctPlan& p = *plan_;
-    const int n = p.n_, m = p.m_;
-    if (n == 1) return;
-
-    vbuf_[0] = {x[0], 0.0};
-    vbuf_[static_cast<size_t>(m)] = {x[m] * M_SQRT2, 0.0};
-    for (int k = 1; k < m; ++k) {
-        const double re = x[k];
-        const double im = -x[n - k];
-        const double c = p.cos_[static_cast<size_t>(k)];
-        const double s = p.sin_[static_cast<size_t>(k)];
-        vbuf_[static_cast<size_t>(k)] = {re * c - im * s, re * s + im * c};
-    }
-
-    buf_[0] = {0.5 * (vbuf_[0].real() + vbuf_[static_cast<size_t>(m)].real()),
-               0.5 * (vbuf_[0].real() - vbuf_[static_cast<size_t>(m)].real())};
-    for (int k = 1; k < m; ++k) {
-        const Complex a = vbuf_[static_cast<size_t>(k)];
-        const Complex b = vbuf_[static_cast<size_t>(m - k)];
-        const double er = 0.5 * (a.real() + b.real());
-        const double ei = 0.5 * (a.imag() - b.imag());
-        const double gr = 0.5 * (a.real() - b.real());
-        const double gi = 0.5 * (a.imag() + b.imag());
-        const Complex w = p.wr_[static_cast<size_t>(k)];
-        // O = conj(W^k) * (V[k] - conj(V[m-k])) / 2; Z[k] = E + i O.
-        const double odr = w.real() * gr + w.imag() * gi;
-        const double odi = w.real() * gi - w.imag() * gr;
-        buf_[static_cast<size_t>(k)] = {er - odi, ei + odr};
-    }
-    p.fft_->inverse(buf_.data());
-
-    for (int k = 0; k < m; ++k) {
-        tmp_[static_cast<size_t>(2 * k)] = buf_[static_cast<size_t>(k)].real();
-        tmp_[static_cast<size_t>(2 * k + 1)] =
-            buf_[static_cast<size_t>(k)].imag();
-    }
-    for (int i = 0; i < m; ++i) {
-        x[2 * i] = tmp_[static_cast<size_t>(i)];
-        x[2 * i + 1] = tmp_[static_cast<size_t>(n - 1 - i)];
-    }
-}
+void DctWorkspace::idct2(double* x) { idct2_with<simd::VecD>(x); }
 
 // dct3 is the transpose of dct2. With D = diag(N, N/2, ..., N/2) the DCT-II
 // matrix M satisfies M M^T = D, hence M^T a = M^{-1} (D a) = idct2(D a).
-void DctWorkspace::dct3(double* x) {
-    const int n = plan_->n_;
-    x[0] *= static_cast<double>(n);
-    for (int k = 1; k < n; ++k) x[k] *= n / 2.0;
-    idct2(x);
-}
+void DctWorkspace::dct3(double* x) { dct3_with<simd::VecD>(x); }
 
 // Sine-series evaluation from the cosine-series evaluator via the identity
 //   sin(pi k (2n+1)/(2N)) = (-1)^n cos(pi (N-k) (2n+1)/(2N)),
 // so idxst(b) = (-1)^n dct3(c) with c[0] = 0 and c[k] = b[N-k] for k >= 1.
 // (The k = 0 sine term vanishes; the k = N cosine term also vanishes.)
-void DctWorkspace::idxst(double* x) {
-    const int n = plan_->n_;
-    if (n == 1) {
-        x[0] = 0.0;
-        return;
-    }
-    tmp_[0] = 0.0;
-    for (int k = 1; k < n; ++k) tmp_[static_cast<size_t>(k)] = x[n - k];
-    std::copy(tmp_.begin(), tmp_.end(), x);
-    dct3(x);
-    for (int i = 1; i < n; i += 2) x[i] = -x[i];
-}
+void DctWorkspace::idxst(double* x) { idxst_with<simd::VecD>(x); }
 
 std::vector<double> dct2(const std::vector<double>& x) {
     std::vector<double> out = x;

@@ -66,6 +66,20 @@ public:
     void dct3(double* x);   ///< in-place cosine-series evaluation
     void idxst(double* x);  ///< in-place sine-series evaluation
 
+    /// Transform bodies templated on the SIMD vector type (defined in
+    /// fft/dct_kernel.hpp). The non-template methods above instantiate the
+    /// active simd::VecD; tests/benches also instantiate simd::ScalarVecD
+    /// and compare bitwise — the reorder/pack/unpack passes are purely
+    /// elementwise, so all backends produce identical bits.
+    template <typename V>
+    void dct2_with(double* x);
+    template <typename V>
+    void idct2_with(double* x);
+    template <typename V>
+    void dct3_with(double* x);
+    template <typename V>
+    void idxst_with(double* x);
+
 private:
     const DctPlan* plan_;  ///< cached, immutable, process-lifetime
     std::vector<std::complex<double>> buf_;  ///< half-length FFT buffer (m)

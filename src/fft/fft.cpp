@@ -5,6 +5,9 @@
 #include <memory>
 #include <mutex>
 
+#include "fft/fft_kernel.hpp"
+#include "util/simd.hpp"
+
 namespace rdp {
 
 int next_pow2(int n) {
@@ -25,54 +28,39 @@ FftPlan::FftPlan(int n) : n_(n), rev_(static_cast<size_t>(n)) {
         const double ang = -2.0 * M_PI * k / n;
         tw_[static_cast<size_t>(k)] = {std::cos(ang), std::sin(ang)};
     }
-}
-
-template <bool Inverse>
-void FftPlan::transform(Complex* a) const {
-    const int n = n_;
-    if (n <= 1) return;
-
-    for (int i = 1; i < n; ++i) {
-        const int j = rev_[static_cast<size_t>(i)];
-        if (i < j) std::swap(a[i], a[j]);
-    }
-
-    // First stage (len = 2): all twiddles are 1, no multiply needed.
-    for (int i = 0; i < n; i += 2) {
-        const Complex u = a[i];
-        const Complex v = a[i + 1];
-        a[i] = u + v;
-        a[i + 1] = u - v;
-    }
-
-    for (int len = 4; len <= n; len <<= 1) {
-        const int half = len >> 1;
-        const int stride = n / len;
-        for (int i = 0; i < n; i += len) {
-            Complex* lo = a + i;
-            Complex* hi = a + i + half;
+    // Per-stage lane-duplicated twiddle tables for the vectorized stages
+    // (len >= 8): each real component is stored twice ([wr0 wr0 wr1 wr1]
+    // ...) and each imaginary component twice with alternating signs
+    // ([-wi0 wi0 -wi1 wi1] ...), so the interleaved-complex butterfly is a
+    // plain multiply + add per vector — the sign alternation folds the
+    // complex multiply's subtract into the table. (An explicit addsub op
+    // would invite the x86 backend to fuse mul+addsub into vfmaddsub,
+    // which ignores -ffp-contract=off and breaks cross-backend bitwise
+    // identity.) Stage at offset len - 8, 2 * half = len doubles per stage.
+    if (n >= 8) {
+        stw_re_.resize(2 * static_cast<size_t>(n) - 8);
+        stw_im_.resize(2 * static_cast<size_t>(n) - 8);
+        for (int len = 8; len <= n; len <<= 1) {
+            const int half = len >> 1;
+            const int stride = n / len;
+            double* re = stw_re_.data() + (len - 8);
+            double* im = stw_im_.data() + (len - 8);
             for (int j = 0; j < half; ++j) {
                 const Complex& w = tw_[static_cast<size_t>(j * stride)];
-                const double wr = w.real();
-                const double wi = Inverse ? -w.imag() : w.imag();
-                const double hr = hi[j].real(), hi_ = hi[j].imag();
-                const double vr = hr * wr - hi_ * wi;
-                const double vi = hr * wi + hi_ * wr;
-                const double ur = lo[j].real(), ui = lo[j].imag();
-                lo[j] = {ur + vr, ui + vi};
-                hi[j] = {ur - vr, ui - vi};
+                re[2 * j] = re[2 * j + 1] = w.real();
+                im[2 * j] = -w.imag();
+                im[2 * j + 1] = w.imag();
             }
         }
     }
-
-    if (Inverse) {
-        const double inv = 1.0 / n;
-        for (int i = 0; i < n; ++i) a[i] *= inv;
-    }
 }
 
-void FftPlan::forward(Complex* a) const { transform<false>(a); }
-void FftPlan::inverse(Complex* a) const { transform<true>(a); }
+void FftPlan::forward(Complex* a) const {
+    transform_with<simd::VecD, false>(a);
+}
+void FftPlan::inverse(Complex* a) const {
+    transform_with<simd::VecD, true>(a);
+}
 
 namespace {
 

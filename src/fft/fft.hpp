@@ -45,13 +45,25 @@ public:
     /// inverse(forward(x)) == x.
     void inverse(Complex* a) const;
 
-private:
-    template <bool Inverse>
-    void transform(Complex* a) const;
+    /// Transform body templated on the SIMD vector type (defined in
+    /// fft/fft_kernel.hpp). forward/inverse instantiate the active
+    /// simd::VecD; tests and benches also instantiate simd::ScalarVecD to
+    /// check bitwise equivalence. The butterflies are purely elementwise,
+    /// so every backend produces identical bits.
+    template <typename V, bool Inverse>
+    void transform_with(Complex* a) const;
 
+private:
     int n_;
     std::vector<int> rev_;     ///< bit-reversal permutation
     std::vector<Complex> tw_;  ///< tw_[k] = e^{-2 pi i k / n}, k < n/2
+    // Per-stage contiguous lane-duplicated twiddles for stages len >= 8
+    // (stage offset len - 8, total 2n - 8 entries; real components stored
+    // twice, imaginary components twice with alternating signs): the
+    // strided tw_ walk becomes a unit-stride load feeding the
+    // interleaved-complex butterfly pass (fft_kernel.hpp).
+    std::vector<double> stw_re_;
+    std::vector<double> stw_im_;
 };
 
 /// Process-wide plan cache: one immutable plan per size, built on first

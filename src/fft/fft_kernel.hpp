@@ -1,0 +1,109 @@
+#pragma once
+// Definition of FftPlan::transform_with — the planned radix-2 transform
+// with vectorized butterfly/twiddle passes (DESIGN.md §14).
+//
+// Stage structure: bit-reversal and the len = 2 / len = 4 stages run
+// scalar (their butterflies are too short for 4-lane vectors); every stage
+// with len >= 8 has half = len/2 >= 4 twiddles, so each vector step covers
+// two adjacent butterflies with no tail. The complex data stays
+// interleaved: one vector holds [re_j im_j re_{j+1} im_{j+1}], the plan's
+// lane-duplicated twiddle tables supply [wr_j wr_j wr_{j+1} wr_{j+1}] and
+// [-wi_j wi_j -wi_{j+1} wi_{j+1}], and the complex multiply is two lane
+// multiplies, one swap_pairs, and one plain add — no deinterleave/
+// interleave shuffles in the hot loop.
+//
+// Every arithmetic op matches the scalar butterfly op for op: the
+// sign-alternated imaginary table makes lane 0 compute
+// hr*wr + him*(-wi), bitwise equal to the scalar hr*wr - him*wi (IEEE
+// x - y == x + (-y), and multiplication by a sign-flipped factor flips
+// exactly the sign bit), and lane 1 computes him*wr + hr*wi (the scalar
+// hr*wi + him*wr with the bitwise-commutative addition flipped). Keeping
+// the combine a plain add matters: an explicit addsub after a multiply
+// gets fused into vfmaddsub by the x86 backend even under
+// -ffp-contract=off, and that fusion fires per-instantiation, breaking
+// cross-backend bitwise identity. Plain mul + add contraction is properly
+// gated by -ffp-contract=off, so the transform's output bits are
+// identical for every SIMD backend — and identical to the
+// pre-vectorization scalar code.
+
+#include <utility>
+
+#include "fft/fft.hpp"
+#include "util/simd.hpp"
+
+namespace rdp {
+
+template <typename V, bool Inverse>
+void FftPlan::transform_with(Complex* a) const {
+    const int n = n_;
+    if (n <= 1) return;
+
+    for (int i = 1; i < n; ++i) {
+        const int j = rev_[static_cast<size_t>(i)];
+        if (i < j) std::swap(a[i], a[j]);
+    }
+
+    // First stage (len = 2): all twiddles are 1, no multiply needed.
+    for (int i = 0; i < n; i += 2) {
+        const Complex u = a[i];
+        const Complex v = a[i + 1];
+        a[i] = u + v;
+        a[i + 1] = u - v;
+    }
+
+    // Second stage (len = 4): scalar, generic twiddle walk over tw_.
+    if (n >= 4) {
+        const int stride = n / 4;
+        for (int i = 0; i < n; i += 4) {
+            Complex* lo = a + i;
+            Complex* hi = a + i + 2;
+            for (int j = 0; j < 2; ++j) {
+                const Complex& w = tw_[static_cast<size_t>(j * stride)];
+                const double wr = w.real();
+                const double wi = Inverse ? -w.imag() : w.imag();
+                const double hr = hi[j].real(), hi_ = hi[j].imag();
+                const double vr = hr * wr - hi_ * wi;
+                const double vi = hr * wi + hi_ * wr;
+                const double ur = lo[j].real(), ui = lo[j].imag();
+                lo[j] = {ur + vr, ui + vi};
+                hi[j] = {ur - vr, ui - vi};
+            }
+        }
+    }
+
+    // Stages len >= 8: vectorized butterflies, two interleaved complex
+    // values per vector step.
+    double* ad = reinterpret_cast<double*>(a);
+    for (int len = 8; len <= n; len <<= 1) {
+        const int half = len >> 1;
+        const double* wre = stw_re_.data() + (len - 8);
+        const double* wim = stw_im_.data() + (len - 8);
+        for (int i = 0; i < n; i += len) {
+            double* lo = ad + 2 * i;
+            double* hi = ad + 2 * (i + half);
+            for (int j = 0; j < half; j += 2) {
+                const V wr = V::loadu(wre + 2 * j);  // wr_j wr_j wr_j1 wr_j1
+                V wi = V::loadu(wim + 2 * j);        // -wi_j wi_j ...
+                if constexpr (Inverse) wi = vneg(wi);
+                const V h = V::loadu(hi + 2 * j);  // hr_j him_j hr_j1 him_j1
+                const V u = V::loadu(lo + 2 * j);
+                // hr*wr + him*(-wi) | him*wr + hr*wi  (see header comment)
+                const V w = h * wr + swap_pairs(h) * wi;
+                (u + w).storeu(lo + 2 * j);
+                (u - w).storeu(hi + 2 * j);
+            }
+        }
+    }
+
+    if constexpr (Inverse) {
+        // Same per-element multiply as `a[i] *= inv`; 2n doubles is a
+        // multiple of the lane width for every n >= 2.
+        const double inv = 1.0 / n;
+        const V vinv = V::set1(inv);
+        const int total = 2 * n;
+        for (int i = 0; i + simd::kLanes <= total; i += simd::kLanes)
+            (V::loadu(ad + i) * vinv).storeu(ad + i);
+    }
+}
+
+}  // namespace rdp

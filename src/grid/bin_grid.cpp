@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "grid/splat_kernel.hpp"
+#include "util/simd.hpp"
+
 namespace rdp {
 
 BinGrid::BinGrid(Rect region, int nx, int ny)
@@ -33,9 +36,9 @@ Vec2 BinGrid::bin_center(int ix, int iy) const {
 
 void BinGrid::splat_area(GridF& g, const Rect& r, double scale) const {
     assert(compatible(g));
-    for_each_overlap(r, [&](int ix, int iy, double a) {
-        g.at(ix, iy) += a * scale;
-    });
+    // Row-vectorized scatter; bit-identical to the scalar
+    // for_each_overlap accumulation on every SIMD backend.
+    splat_rect<simd::VecD>(*this, g, r, scale);
 }
 
 double BinGrid::sample_bilinear(const GridF& g, Vec2 p) const {

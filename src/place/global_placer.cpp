@@ -19,6 +19,7 @@
 #include "recover/stage_guard.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "wirelength/hpwl.hpp"
 
 namespace rdp {
@@ -59,6 +60,8 @@ int GlobalPlacer::add_fillers(Design& d, const PlacerConfig& cfg,
 
 PlaceResult GlobalPlacer::place(const Design& input) const {
     const auto t0 = std::chrono::steady_clock::now();
+    RDP_LOG_INFO() << "simd backend: " << simd::backend_name()
+                   << (simd::fma_enabled() ? " (fma)" : "");
     PlaceResult res;
 
     Design d = input;

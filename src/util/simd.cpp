@@ -1,0 +1,23 @@
+#include "util/simd.hpp"
+
+namespace rdp::simd {
+
+const char* backend_name() {
+#if RDP_SIMD_BACKEND == 1
+    return "avx2";
+#elif RDP_SIMD_BACKEND == 2
+    return "neon";
+#else
+    return "scalar";
+#endif
+}
+
+bool fma_enabled() {
+#if defined(RDP_SIMD_FMA)
+    return true;
+#else
+    return false;
+#endif
+}
+
+}  // namespace rdp::simd

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/simd.hpp"
+
 namespace rdp {
 
 void RunningStats::add(double x) {
@@ -32,7 +34,9 @@ double geometric_mean(const std::vector<double>& xs) {
         if (x <= 0.0) return 0.0;
         acc += std::log(x);
     }
-    return std::exp(acc / static_cast<double>(xs.size()));
+    // stable_exp clamps the exponent into the finite window, which is the
+    // shared overflow guard (util/simd.hpp) for every exp in the codebase.
+    return simd::stable_exp(acc / static_cast<double>(xs.size()));
 }
 
 double arithmetic_mean(const std::vector<double>& xs) {

@@ -1,0 +1,135 @@
+#pragma once
+// Vectorized core of the one-dimensional weighted-average wirelength
+// (the exp/weight and gradient loops of wa_model.cpp, DESIGN.md §14).
+//
+// Templated on the SIMD vector type so the production build instantiates
+// the active simd::VecD while tests and benches also instantiate
+// simd::ScalarVecD in the same binary and compare results bitwise.
+//
+// Determinism: every pass uses a fixed 4-lane structure. The min/max scan
+// folds lane-wise then reduces lanes in index order; pass 1 keeps
+// lane-private partial sums that are combined with reduce_add's fixed tree,
+// and the tail group contributes through zeroed weight lanes — so the bits
+// depend only on (xs, n, gamma), never on the backend or thread count
+// (chunking lives one level up in WAWirelength::evaluate and is untouched).
+// Pass 2 is purely elementwise in the same per-element op order on every
+// backend, hence bit-identical by construction.
+//
+// The divisions of the pre-SIMD loop are replaced by multiplies with
+// precomputed reciprocals (1/gamma, 1/sum): ~1 ulp different from the
+// division form, well inside the WA model's smooth-max approximation
+// tolerance, and worth ~25% of the kernel (vdivpd does not pipeline).
+
+#include <cstddef>
+
+#include "util/simd.hpp"
+
+namespace rdp::wa {
+
+/// Weight-buffer capacity needed for n coordinates: the last partial lane
+/// group is stored as a full vector (dead lanes hold +0.0), so callers pad
+/// the wp/wm scratch to the next multiple of the lane width.
+inline size_t padded_size(size_t n) {
+    constexpr size_t lanes = static_cast<size_t>(simd::kLanes);
+    return (n + lanes - 1) & ~(lanes - 1);
+}
+
+/// 1D WA and gradient for n >= 2 pin coordinates. wp/wm must have capacity
+/// >= padded_size(n); grad has length n. Returns smooth-max minus
+/// smooth-min; grad[j] = d(WA_1d)/d(xs[j]).
+template <typename V>
+double wa_1d_core(const double* xs, size_t n, double gamma, double* wp,
+                  double* wm, double* grad) {
+    constexpr size_t lanes = static_cast<size_t>(simd::kLanes);
+
+    // Min/max scan: lane-wise folds, lanes reduced in index order. Min and
+    // max are associative and commutative over placement coordinates (the
+    // one order-sensitive case, a +0.0 / -0.0 tie, still yields identical
+    // weights: exp(±0/g) == 1.0 either way), so the vector fold matches the
+    // sequential scan bit for bit.
+    double xmax = xs[0], xmin = xs[0];
+    size_t i = 1;
+    if (n >= lanes) {
+        V vmx = V::loadu(xs);
+        V vmn = vmx;
+        for (i = lanes; i + lanes <= n; i += lanes) {
+            const V x = V::loadu(xs + i);
+            vmx = vmax(vmx, x);
+            vmn = vmin(vmn, x);
+        }
+        double mx[lanes], mn[lanes];
+        vmx.storeu(mx);
+        vmn.storeu(mn);
+        xmax = mx[0];
+        xmin = mn[0];
+        for (size_t l = 1; l < lanes; ++l) {
+            xmax = mx[l] > xmax ? mx[l] : xmax;
+            xmin = mn[l] < xmin ? mn[l] : xmin;
+        }
+    }
+    for (; i < n; ++i) {
+        xmax = xs[i] > xmax ? xs[i] : xmax;
+        xmin = xs[i] < xmin ? xs[i] : xmin;
+    }
+
+    // Pass 1: weights e^{(x-xmax)/g} / e^{(xmin-x)/g} plus the four sums.
+    const double inv_gamma = 1.0 / gamma;
+    const V vinvg = V::set1(inv_gamma);
+    const V vxmax = V::set1(xmax);
+    const V vxmin = V::set1(xmin);
+    V sp_v = V::zero(), ap_v = V::zero();  // max side: sum w, sum x*w
+    V sm_v = V::zero(), am_v = V::zero();  // min side
+    i = 0;
+    for (; i + lanes <= n; i += lanes) {
+        const V x = V::loadu(xs + i);
+        const V wpv = simd::stable_exp((x - vxmax) * vinvg);
+        const V wmv = simd::stable_exp((vxmin - x) * vinvg);
+        wpv.storeu(wp + i);
+        wmv.storeu(wm + i);
+        sp_v = sp_v + wpv;
+        ap_v = mul_add(x, wpv, ap_v);
+        sm_v = sm_v + wmv;
+        am_v = mul_add(x, wmv, am_v);
+    }
+    if (i < n) {
+        const int m = static_cast<int>(n - i);
+        const V x = V::load_partial(xs + i, m);
+        // Dead lanes get weight +0.0, so they add exactly nothing to the
+        // sums and the bits match any other (backend, n) combination.
+        const V wpv = zero_tail(simd::stable_exp((x - vxmax) * vinvg), m);
+        const V wmv = zero_tail(simd::stable_exp((vxmin - x) * vinvg), m);
+        wpv.storeu(wp + i);  // full store into the padded scratch
+        wmv.storeu(wm + i);
+        sp_v = sp_v + wpv;
+        ap_v = mul_add(x, wpv, ap_v);
+        sm_v = sm_v + wmv;
+        am_v = mul_add(x, wmv, am_v);
+    }
+    const double sp = reduce_add(sp_v), ap = reduce_add(ap_v);
+    const double sm = reduce_add(sm_v), am = reduce_add(am_v);
+    const double fp = ap / sp;  // smooth max
+    const double fm = am / sm;  // smooth min
+
+    // Pass 2 (elementwise):
+    //   d fp / d x_j = (w_j / sp) (1 + (x_j - fp)/g)
+    //   d fm / d x_j = (w_j / sm) (1 - (x_j - fm)/g)
+    const double inv_sp = 1.0 / sp, inv_sm = 1.0 / sm;
+    const V visp = V::set1(inv_sp), vism = V::set1(inv_sm);
+    const V vfp = V::set1(fp), vfm = V::set1(fm);
+    const V one = V::set1(1.0);
+    i = 0;
+    for (; i + lanes <= n; i += lanes) {
+        const V x = V::loadu(xs + i);
+        const V dp = (V::loadu(wp + i) * visp) * (one + (x - vfp) * vinvg);
+        const V dm = (V::loadu(wm + i) * vism) * (one - (x - vfm) * vinvg);
+        (dp - dm).storeu(grad + i);
+    }
+    for (; i < n; ++i) {
+        const double dp = (wp[i] * inv_sp) * (1.0 + (xs[i] - fp) * inv_gamma);
+        const double dm = (wm[i] * inv_sm) * (1.0 - (xs[i] - fm) * inv_gamma);
+        grad[i] = dp - dm;
+    }
+    return fp - fm;
+}
+
+}  // namespace rdp::wa

@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
+#include "wirelength/wa_kernel.hpp"
 
 namespace rdp {
 
@@ -15,38 +17,16 @@ double WAWirelength::wa_1d(const std::vector<double>& xs,
     grad.assign(n, 0.0);
     if (n < 2) return 0.0;
 
-    const double xmax = *std::max_element(xs.begin(), xs.end());
-    const double xmin = *std::min_element(xs.begin(), xs.end());
-    const double g = gamma_;
-
-    // Max side: weights e^{(x_i - xmax)/g} are in (0, 1].
-    double sp = 0.0, ap = 0.0;  // sum of weights, weighted coordinate sum
-    double sm = 0.0, am = 0.0;  // min side with weights e^{(xmin - x_i)/g}
-    std::vector<double>& wp = scratch.wp;
-    std::vector<double>& wm = scratch.wm;
-    if (wp.size() < n) {
-        wp.resize(n);
-        wm.resize(n);
+    // The kernel stores the tail lane group as a full vector, so the weight
+    // scratch is padded to the lane width (see wa::padded_size).
+    const size_t cap = wa::padded_size(n);
+    if (scratch.wp.size() < cap) {
+        scratch.wp.resize(cap);
+        scratch.wm.resize(cap);
     }
-    for (size_t i = 0; i < n; ++i) {
-        wp[i] = std::exp((xs[i] - xmax) / g);
-        wm[i] = std::exp((xmin - xs[i]) / g);
-        sp += wp[i];
-        ap += xs[i] * wp[i];
-        sm += wm[i];
-        am += xs[i] * wm[i];
-    }
-    const double fp = ap / sp;  // smooth max
-    const double fm = am / sm;  // smooth min
-
-    // d fp / d x_j = (w_j / sp) (1 + (x_j - fp)/g)
-    // d fm / d x_j = (w_j / sm) (1 - (x_j - fm)/g)
-    for (size_t j = 0; j < n; ++j) {
-        const double dp = (wp[j] / sp) * (1.0 + (xs[j] - fp) / g);
-        const double dm = (wm[j] / sm) * (1.0 - (xs[j] - fm) / g);
-        grad[j] = dp - dm;
-    }
-    return fp - fm;
+    return wa::wa_1d_core<simd::VecD>(xs.data(), n, gamma_,
+                                      scratch.wp.data(), scratch.wm.data(),
+                                      grad.data());
 }
 
 double WAWirelength::net_wa(const Design& d, const Net& net) const {

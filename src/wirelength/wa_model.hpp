@@ -26,9 +26,10 @@ struct WirelengthResult {
     std::vector<Vec2> cell_grad;  ///< d(total)/d(cell center), all cells
 };
 
-/// Reusable per-call scratch for wa_1d: the exponential weight buffers.
-/// Callers (and each parallel chunk) keep one instance so the inner loop is
-/// allocation-free after warm-up.
+/// Reusable per-call scratch for wa_1d: the exponential weight buffers,
+/// padded to the SIMD lane width (wa::padded_size). Callers (and each
+/// parallel chunk) keep one instance so the inner loop is allocation-free
+/// after warm-up.
 struct WaScratch {
     std::vector<double> wp;  ///< max-side weights e^{(x_i - xmax)/g}
     std::vector<double> wm;  ///< min-side weights e^{(xmin - x_i)/g}
