@@ -4,11 +4,16 @@
 #
 #   1. format check      clang-format --dry-run over src/ and tests/
 #   2. default build     RDP_WERROR=ON + full ctest suite
-#   3. clang-tidy        over src/ via the exported compile_commands.json
-#   4. scalar build      RDP_SIMD=scalar build + full ctest suite (the
+#   3. lint              determinism-contract checks (DESIGN.md §15):
+#                        rdp_lint over every src/ file, ctest -L lint
+#                        (fixture regressions for each rdp-* check), and —
+#                        when the rdp-tidy plugin was built — a clang-tidy
+#                        -load pass with the rdp-* AST checks
+#   4. clang-tidy        over src/ via the exported compile_commands.json
+#   5. scalar build      RDP_SIMD=scalar build + full ctest suite (the
 #                        portable fallback backend must pass everything the
 #                        native-SIMD build passes, bit for bit)
-#   5. sanitizer matrix  address, undefined, address;undefined -> ctest -L sanitize
+#   6. sanitizer matrix  address, undefined, address;undefined -> ctest -L sanitize
 #                        thread                                -> ctest -L parallel
 #                        plus explicit ASan+UBSan passes: ctest -L recover
 #                        (fault injection), RDP_INCREMENTAL=1 ctest -L
@@ -18,19 +23,35 @@
 #                        equivalence)
 #
 # Any failing step fails the script (non-zero exit). Tools missing from the
-# host (clang-format / clang-tidy) skip their step with a notice so the
-# script stays usable on gcc-only machines; the sanitizer and test gates
-# always run.
+# host (clang-format / clang-tidy / the rdp-tidy plugin) skip their step
+# with a notice so the script stays usable on gcc-only machines — the
+# portable rdp_lint gate and the test gates always run. With --strict a
+# missing tool is a FAILED gate instead of a notice: CI hosts that are
+# supposed to have the full Clang toolchain must not pass by silently
+# skipping it.
 #
-# Usage: ./run_checks.sh [--fast]
-#   --fast   skip the sanitizer matrix (format + build + tests + tidy only)
+# Usage: ./run_checks.sh [--fast] [--strict]
+#   --fast     skip the sanitizer matrix (format + build + tests + lint +
+#              tidy only)
+#   --strict   missing clang-format/clang-tidy/rdp-tidy plugin fails the
+#              run instead of skipping with a notice
 
 set -u
 
 cd "$(dirname "$0")"
 
 FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
+STRICT=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) FAST=1 ;;
+        --strict) STRICT=1 ;;
+        *)
+            echo "unknown option '$arg' (usage: ./run_checks.sh [--fast] [--strict])" >&2
+            exit 2
+            ;;
+    esac
+done
 
 JOBS=$(nproc 2>/dev/null || echo 2)
 FAILURES=()
@@ -51,15 +72,30 @@ require_label() {
     fi
 }
 
+# A tool the host lacks: notice by default, failed gate under --strict.
+missing_tool() {
+    if [[ "$STRICT" == 1 ]]; then
+        record_failure "$1 unavailable (--strict)"
+    else
+        echo "$1 not found: skipping (run with --strict to fail instead)"
+    fi
+}
+
 # ---- 1. format check (skip when clang-format is unavailable) --------------
+# tests/lint_fixtures holds deliberately-bad code the lint checks must fire
+# on (lint input, not source) and tools/rdp-tidy follows upstream LLVM
+# style so it diffs cleanly against clang-tidy examples; both stay outside
+# the repo-style format gate.
 note "format check"
 if command -v clang-format >/dev/null 2>&1; then
-    mapfile -t SOURCES < <(find src tests -name '*.cpp' -o -name '*.hpp' | sort)
+    mapfile -t SOURCES < <(find src tests tools/rdp-lint \
+                               \( -name '*.cpp' -o -name '*.hpp' \) \
+                               -not -path '*/lint_fixtures/*' | sort)
     if ! clang-format --dry-run -Werror "${SOURCES[@]}"; then
         record_failure "clang-format"
     fi
 else
-    echo "clang-format not found: skipping the format gate"
+    missing_tool "clang-format"
 fi
 
 # ---- 2. default build (warnings as errors) + full test suite --------------
@@ -79,7 +115,68 @@ else
     record_failure "default build"
 fi
 
-# ---- 3. forced-scalar SIMD backend + full test suite ----------------------
+# ---- 3. lint: the static determinism contract (DESIGN.md §15) -------------
+# Three layers, strongest available wins, none silently absent:
+#   a. rdp_lint (portable, built above) over every src/ source file
+#   b. ctest -L lint — fixture regressions proving each rdp-* check still
+#      fires on its bad fixture and stays silent on its good twin
+#   c. when the host's Clang dev install built the rdp-tidy plugin, the
+#      same five checks as real AST matchers via clang-tidy -load
+note "lint (determinism contract)"
+RDP_LINT_BIN=build-checks/tools/rdp-lint/rdp_lint
+if [[ -x "$RDP_LINT_BIN" ]]; then
+    mapfile -t LINT_SOURCES < <(find src \( -name '*.cpp' -o -name '*.hpp' \) |
+                                sort)
+    if ! "$RDP_LINT_BIN" "${LINT_SOURCES[@]}"; then
+        record_failure "rdp_lint (determinism contract)"
+    fi
+else
+    record_failure "rdp_lint binary missing ($RDP_LINT_BIN)"
+fi
+if require_label build-checks lint; then
+    if ! ctest --test-dir build-checks -L lint --output-on-failure \
+               -j "$JOBS"; then
+        record_failure "lint fixture tests (ctest -L lint)"
+    fi
+fi
+RDP_TIDY_PLUGIN_SO=build-checks/tools/rdp-tidy/librdp_tidy_module.so
+TIDY_LOAD_ARGS=()
+if [[ -f "$RDP_TIDY_PLUGIN_SO" ]]; then
+    TIDY_LOAD_ARGS=(-load "$RDP_TIDY_PLUGIN_SO")
+    if command -v clang-tidy >/dev/null 2>&1; then
+        mapfile -t LINT_TIDY_SOURCES < <(find src -name '*.cpp' | sort)
+        if ! clang-tidy "${TIDY_LOAD_ARGS[@]}" -checks='-*,rdp-*' \
+                 --warnings-as-errors='rdp-*' -p build-checks --quiet \
+                 "${LINT_TIDY_SOURCES[@]}"; then
+            record_failure "rdp-tidy plugin checks over src/"
+        fi
+    else
+        missing_tool "clang-tidy (for the rdp-tidy plugin pass)"
+    fi
+else
+    missing_tool "rdp-tidy plugin (no Clang development install)"
+fi
+
+# ---- 4. clang-tidy over src/ (skip when unavailable) ----------------------
+# When the rdp-tidy plugin exists it is loaded here too, so the rdp-* glob
+# in .clang-tidy resolves and the contract checks run alongside the stock
+# bug-finding families.
+note "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+    if [[ -f build-checks/compile_commands.json ]]; then
+        mapfile -t TIDY_SOURCES < <(find src -name '*.cpp' | sort)
+        if ! clang-tidy "${TIDY_LOAD_ARGS[@]}" -p build-checks --quiet \
+                 "${TIDY_SOURCES[@]}"; then
+            record_failure "clang-tidy"
+        fi
+    else
+        record_failure "clang-tidy (no compile_commands.json)"
+    fi
+else
+    missing_tool "clang-tidy"
+fi
+
+# ---- 5. forced-scalar SIMD backend + full test suite ----------------------
 # The scalar backend is the portability fallback for hosts without AVX2/
 # NEON; it must pass the full suite, and the determinism tests inside it
 # must see the same bits the native-SIMD build produces.
@@ -93,22 +190,7 @@ else
     record_failure "scalar-backend build"
 fi
 
-# ---- 4. clang-tidy over src/ (skip when unavailable) ----------------------
-note "clang-tidy"
-if command -v clang-tidy >/dev/null 2>&1; then
-    if [[ -f build-checks/compile_commands.json ]]; then
-        mapfile -t TIDY_SOURCES < <(find src -name '*.cpp' | sort)
-        if ! clang-tidy -p build-checks --quiet "${TIDY_SOURCES[@]}"; then
-            record_failure "clang-tidy"
-        fi
-    else
-        record_failure "clang-tidy (no compile_commands.json)"
-    fi
-else
-    echo "clang-tidy not found: skipping the static-analysis gate"
-fi
-
-# ---- 5. sanitizer matrix --------------------------------------------------
+# ---- 6. sanitizer matrix --------------------------------------------------
 if [[ "$FAST" == 0 ]]; then
     sanitize_config() {
         local preset="$1" label="$2"

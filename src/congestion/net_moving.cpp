@@ -87,7 +87,8 @@ NetMovingResult NetMovingGradient::compute(const Design& d,
             return a;
         });
     const double virtual_area =
-        cells_acc.n_mov > 0 ? cells_acc.area / cells_acc.n_mov : 1.0;
+        cells_acc.n_mov > 0 ? cells_acc.area / static_cast<double>(cells_acc.n_mov)
+                            : 1.0;
     res.num_congested_cells = cells_acc.congested;
 
     // Parallel over nets: each chunk accumulates into its own gradient

@@ -25,14 +25,15 @@ RatioSummary average_ratios(const std::vector<RunRecord>& runs,
         if (ref == nullptr) continue;
         ++n;
         if (ref->drwl > 0.0) drwl += r.drwl / ref->drwl;
-        if (ref->vias > 0) vias += static_cast<double>(r.vias) / ref->vias;
+        if (ref->vias > 0)
+            vias += static_cast<double>(r.vias) / static_cast<double>(ref->vias);
         if (ref->place_seconds > 0.0) pt += r.place_seconds / ref->place_seconds;
         if (ref->route_seconds > 0.0) rt += r.route_seconds / ref->route_seconds;
         const bool skipped =
             std::find(skip_designs.begin(), skip_designs.end(), r.design) !=
             skip_designs.end();
         if (!skipped && ref->drvs > 0) {
-            drvs += static_cast<double>(r.drvs) / ref->drvs;
+            drvs += static_cast<double>(r.drvs) / static_cast<double>(ref->drvs);
             ++n_drv;
         }
     }

@@ -9,6 +9,7 @@
 #include "fft/dct_kernel.hpp"
 #include "fft/fft.hpp"
 #include "util/simd.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rdp {
 
@@ -33,9 +34,12 @@ DctPlan::DctPlan(int n) : n_(n), m_(n / 2) {
 
 namespace {
 
+// The slot array is written only under `mu`; the pointed-to plans are
+// immutable after construction, which is what makes handing out references
+// past the lock safe (stable addresses, read-only payload).
 struct DctPlanCache {
     std::mutex mu;
-    std::unique_ptr<DctPlan> plans[32];
+    std::unique_ptr<DctPlan> plans[32] GUARDED_BY(mu);
 };
 
 DctPlanCache& dct_plan_cache() {

@@ -7,6 +7,7 @@
 
 #include "fft/fft_kernel.hpp"
 #include "util/simd.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rdp {
 
@@ -65,9 +66,12 @@ void FftPlan::inverse(Complex* a) const {
 namespace {
 
 // Plans keyed by log2(size): at most 31 distinct sizes, stable addresses.
+// The slot array is written only under `mu`; the plans themselves are
+// immutable after construction, so references handed out past the lock
+// stay valid and race-free.
 struct PlanCache {
     std::mutex mu;
-    std::unique_ptr<FftPlan> plans[32];
+    std::unique_ptr<FftPlan> plans[32] GUARDED_BY(mu);
 };
 
 PlanCache& plan_cache() {

@@ -1,9 +1,11 @@
 #include "recover/fault_injection.hpp"
 
 #include <iostream>
+#include <mutex>
 #include <vector>
 
 #include "util/env.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rdp::recover {
 
@@ -59,7 +61,13 @@ struct Harness {
     int shots = 0;
 };
 
-Harness& harness() {
+/// Guards the process-wide harness: arm/clear from a test driver may race
+/// with fire() from a pipeline thread, and the mutable fire bookkeeping
+/// (next_unfired/shots) is exactly the kind of shared recover-state the
+/// static determinism contract wants lock-annotated (DESIGN.md §15).
+std::mutex g_harness_mu;
+
+Harness& harness() REQUIRES(g_harness_mu) {
     static Harness h = [] {
         Harness init;
         if (const auto text = env::raw("RDP_FAULT")) {
@@ -80,6 +88,7 @@ Harness& harness() {
 }  // namespace
 
 void arm(const FaultSpec& spec) {
+    std::lock_guard<std::mutex> lock(g_harness_mu);
     Harness& h = harness();
     h.spec = spec;
     h.next_unfired = spec.iter;
@@ -87,14 +96,19 @@ void arm(const FaultSpec& spec) {
 }
 
 void clear() {
+    std::lock_guard<std::mutex> lock(g_harness_mu);
     Harness& h = harness();
     h.spec.reset();
     h.shots = 0;
 }
 
-bool armed() { return harness().spec.has_value(); }
+bool armed() {
+    std::lock_guard<std::mutex> lock(g_harness_mu);
+    return harness().spec.has_value();
+}
 
 bool fire(const char* stage, FaultKind kind, int iter) {
+    std::lock_guard<std::mutex> lock(g_harness_mu);
     Harness& h = harness();
     if (!h.spec) return false;
     const FaultSpec& s = *h.spec;
@@ -105,7 +119,10 @@ bool fire(const char* stage, FaultKind kind, int iter) {
     return true;
 }
 
-int shots() { return harness().shots; }
+int shots() {
+    std::lock_guard<std::mutex> lock(g_harness_mu);
+    return harness().shots;
+}
 
 }  // namespace fault
 }  // namespace rdp::recover

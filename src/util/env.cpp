@@ -110,4 +110,22 @@ bool flag_or(const char* name, bool def) {
     return *v;
 }
 
+size_t choice_or(const char* name, size_t def,
+                 std::initializer_list<const char*> options) {
+    const auto text = raw(name);
+    if (!text) return def;
+    const std::string t = lowered(trimmed(*text));
+    size_t i = 0;
+    for (const char* opt : options) {
+        if (t == opt) return i;
+        ++i;
+    }
+    std::string expected = "one of ";
+    i = 0;
+    for (const char* opt : options)
+        expected += (i++ == 0 ? std::string() : std::string("|")) + opt;
+    warn(name, *text, expected);
+    return def;
+}
+
 }  // namespace rdp::env

@@ -9,6 +9,8 @@
 // The parse_* functions are pure (exposed for tests); the *_or functions
 // read the process environment and apply the reject-with-message policy.
 
+#include <cstddef>
+#include <initializer_list>
 #include <optional>
 #include <string>
 
@@ -37,5 +39,12 @@ double double_or(const char* name, double def, double min_v, double max_v);
 
 /// Boolean knob; same policy.
 bool flag_or(const char* name, bool def);
+
+/// Enumerated-choice knob: the value must match one of `options`
+/// (case-insensitive, surrounding whitespace ignored). Returns the index of
+/// the matching option; unset -> def, anything else -> one warning naming
+/// the accepted spellings + def.
+size_t choice_or(const char* name, size_t def,
+                 std::initializer_list<const char*> options);
 
 }  // namespace rdp::env

@@ -1,22 +1,21 @@
 #include "util/log.hpp"
 
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
+
+#include "util/env.hpp"
 
 namespace rdp {
 
 namespace {
+// RDP_LOG goes through the strict util/env parsing layer like every other
+// knob: unknown values warn once (naming the accepted spellings) and fall
+// back to the default instead of being silently ignored.
 LogLevel g_level = [] {
-    const char* env = std::getenv("RDP_LOG");
-    if (env == nullptr) return LogLevel::Info;
-    if (std::strcmp(env, "error") == 0) return LogLevel::Error;
-    if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
-    if (std::strcmp(env, "info") == 0) return LogLevel::Info;
-    if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
-    std::cerr << "[W] ignoring invalid RDP_LOG='" << env
-              << "' (expected error|warn|info|debug); using the default\n";
-    return LogLevel::Info;
+    constexpr LogLevel kLevels[] = {LogLevel::Error, LogLevel::Warn,
+                                    LogLevel::Info, LogLevel::Debug};
+    const size_t idx =
+        env::choice_or("RDP_LOG", 2, {"error", "warn", "info", "debug"});
+    return kLevels[idx];
 }();
 
 const char* level_tag(LogLevel lv) {

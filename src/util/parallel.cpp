@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "util/env.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rdp {
 namespace par {
@@ -55,7 +56,7 @@ public:
 
     void run(const ChunkPlan& plan,
              const std::function<void(size_t, size_t, size_t)>& fn,
-             int threads) {
+             int threads) EXCLUDES(run_mutex_, m_) {
         // Serialize whole regions: one job at a time keeps the pool simple
         // and is all the placement loop needs.
         std::lock_guard<std::mutex> run_lock(run_mutex_);
@@ -95,16 +96,23 @@ private:
             stop_ = true;
         }
         cv_.notify_all();
-        for (std::thread& t : workers_) t.join();
+        // Joining must happen without m_ held (exiting workers take it), so
+        // detach the worker list from the guarded member first.
+        std::vector<std::thread> workers;
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            workers.swap(workers_);
+        }
+        for (std::thread& t : workers) t.join();
     }
 
-    void ensure_workers(int want) {
+    void ensure_workers(int want) EXCLUDES(m_) {
         std::lock_guard<std::mutex> lk(m_);
         while (static_cast<int>(workers_.size()) < want)
             workers_.emplace_back([this] { worker_loop(); });
     }
 
-    void work_on(Job& job) {
+    void work_on(Job& job) EXCLUDES(m_) {
         const size_t n = job.plan.num_chunks;
         while (true) {
             const size_t c = job.next.fetch_add(1);
@@ -117,7 +125,7 @@ private:
         }
     }
 
-    void worker_loop() {
+    void worker_loop() EXCLUDES(m_) {
         uint64_t last_id = 0;
         while (true) {
             Job* job = nullptr;
@@ -145,14 +153,18 @@ private:
         }
     }
 
+    /// Serializes whole parallel regions (one job at a time).
     std::mutex run_mutex_;
+    /// Guards the job hand-off state below. Job::refs is guarded by it too,
+    /// but lives in the stack-allocated Job, so the annotation cannot name
+    /// it — every touch of `refs` in this file is under m_.
     std::mutex m_;
     std::condition_variable cv_;
     std::condition_variable done_cv_;
-    std::vector<std::thread> workers_;
-    Job* job_ = nullptr;
-    uint64_t job_seq_ = 0;
-    bool stop_ = false;
+    std::vector<std::thread> workers_ GUARDED_BY(m_);
+    Job* job_ GUARDED_BY(m_) = nullptr;
+    uint64_t job_seq_ GUARDED_BY(m_) = 0;
+    bool stop_ GUARDED_BY(m_) = false;
 };
 
 }  // namespace

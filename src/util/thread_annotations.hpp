@@ -1,0 +1,56 @@
+#pragma once
+// Clang thread-safety capability annotations (DESIGN.md §15).
+//
+// These macros attach the lock-ownership contract of a piece of state to
+// its declaration: which mutex guards a member (GUARDED_BY), which lock a
+// function expects its caller to hold (REQUIRES), and which lock a function
+// takes itself and must therefore be called without (EXCLUDES). Under
+// Clang the contract is enforced at compile time by `-Wthread-safety`
+// (run_checks.sh builds with it + -Werror whenever the compiler is Clang);
+// under GCC and other compilers every macro expands to nothing, so the
+// annotations are pure documentation there.
+//
+// The macro set mirrors the canonical mutex.h from the Clang
+// thread-safety-analysis documentation, trimmed to what this codebase
+// uses. Annotate with the macros, never with raw __attribute__ spellings,
+// so a non-Clang build stays warning-free.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define RDP_TSA_HAS(x) __has_attribute(x)
+#else
+#define RDP_TSA_HAS(x) 0
+#endif
+
+#if RDP_TSA_HAS(guarded_by)
+#define RDP_TSA(x) __attribute__((x))
+#else
+#define RDP_TSA(x)
+#endif
+
+/// Member is readable/writable only while the named mutex is held.
+#define GUARDED_BY(x) RDP_TSA(guarded_by(x))
+
+/// Pointer member: the pointee (not the pointer) is guarded by the mutex.
+#define PT_GUARDED_BY(x) RDP_TSA(pt_guarded_by(x))
+
+/// Function requires the caller to already hold the lock(s).
+#define REQUIRES(...) RDP_TSA(requires_capability(__VA_ARGS__))
+
+/// Function must be called with the lock(s) NOT held (it acquires them).
+#define EXCLUDES(...) RDP_TSA(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the lock(s) and returns with them held.
+#define ACQUIRE(...) RDP_TSA(acquire_capability(__VA_ARGS__))
+
+/// Function releases the lock(s).
+#define RELEASE(...) RDP_TSA(release_capability(__VA_ARGS__))
+
+/// Type declares a capability (use on wrapper mutex classes).
+#define CAPABILITY(x) RDP_TSA(capability(x))
+
+/// RAII type that acquires on construction / releases on destruction.
+#define SCOPED_CAPABILITY RDP_TSA(scoped_lockable)
+
+/// Escape hatch: function intentionally skips the analysis (e.g. a
+/// destructor that joins workers after publishing `stop_`).
+#define NO_THREAD_SAFETY_ANALYSIS RDP_TSA(no_thread_safety_analysis)

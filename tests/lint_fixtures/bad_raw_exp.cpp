@@ -1,0 +1,15 @@
+// Firing fixture for rdp-raw-exp: raw libm exp/fma calls outside
+// util/simd.*. Each marked line must produce exactly one finding.
+#include <cmath>
+
+double wa_weight(double x, double gamma) {
+    return std::exp(x / gamma);  // finding: raw std::exp
+}
+
+double fused(double a, double b, double c) {
+    return std::fma(a, b, c);  // finding: unconditional fused op
+}
+
+float fused_f(float a, float b, float c) {
+    return ::fmaf(a, b, c);  // finding: global-scope fmaf
+}

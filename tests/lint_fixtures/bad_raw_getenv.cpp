@@ -1,0 +1,12 @@
+// Firing fixture for rdp-raw-getenv: knobs read with raw getenv instead
+// of the strict rdp::env parsing layer.
+#include <cstdlib>
+
+int threads_knob() {
+    const char* v = std::getenv("RDP_THREADS");  // finding: std::getenv
+    return v != nullptr ? 1 : 0;
+}
+
+const char* log_knob() {
+    return ::getenv("RDP_LOG");  // finding: global-scope getenv
+}

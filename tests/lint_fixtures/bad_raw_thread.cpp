@@ -1,0 +1,16 @@
+// Firing fixture for rdp-raw-thread: ad-hoc threading outside the
+// deterministic rdp::par:: chunk layer.
+#include <future>
+#include <thread>
+
+void scatter_async(double* out, int n) {
+    std::thread worker([out, n] {  // finding: raw std::thread
+        for (int i = 0; i < n; ++i) out[i] = 0.0;
+    });
+    worker.join();
+}
+
+int eval_async() {
+    auto f = std::async([] { return 1; });  // finding: std::async
+    return f.get();
+}

@@ -1,0 +1,20 @@
+// Firing fixture for rdp-unordered-iteration: hash-order iteration
+// feeding an order-dependent floating-point accumulation.
+#include <unordered_map>
+#include <unordered_set>
+
+double total_area(const std::unordered_map<int, double>& areas) {
+    double sum = 0.0;
+    for (const auto& kv : areas) {  // finding: range-for over hash order
+        sum += kv.second;
+    }
+    return sum;
+}
+
+int count_even(const std::unordered_set<int>& ids) {
+    int n = 0;
+    for (auto it = ids.begin(); it != ids.end(); ++it) {  // finding: begin()
+        if (*it % 2 == 0) ++n;
+    }
+    return n;
+}

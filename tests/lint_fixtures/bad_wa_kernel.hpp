@@ -1,0 +1,22 @@
+#pragma once
+// Firing fixture for rdp-hot-loop-alloc. The file name deliberately ends
+// with wa_kernel.hpp so the path-scoped check applies to it.
+#include <cstddef>
+#include <vector>
+
+namespace rdp {
+
+inline void wa_partials(const double* x, std::size_t n,
+                        std::vector<double>& out) {
+    std::vector<double> scratch;  // finding: owning container in a kernel
+    scratch.reserve(n);           // finding: growth call
+    for (std::size_t i = 0; i < n; ++i) {
+        scratch.push_back(x[i]);  // finding: growth call in the hot loop
+    }
+    double* tmp = new double[8];  // finding: new-expression
+    out.resize(n);                // finding: growth call on the output
+    out[0] = scratch[0] + tmp[0];
+    delete[] tmp;
+}
+
+}  // namespace rdp

@@ -1,0 +1,28 @@
+// Non-firing fixture for rdp-raw-exp: the blessed patterns plus the
+// look-alikes the check must not trip on.
+namespace rdp::simd {
+double stable_exp(double x);
+double mul_add(double a, double b, double c);
+}  // namespace rdp::simd
+
+namespace mymath {
+double exp(double x);  // some other namespace's exp is not libm's
+}
+
+struct Evaluator {
+    double exp(double x) const { return x; }  // member named exp
+};
+
+double wa_weight(double x, double gamma) {
+    // The one legal exp: bitwise identical across SIMD backends.
+    return rdp::simd::stable_exp(x / gamma);
+}
+
+double other(double x) {
+    Evaluator e;
+    // std::exp mentioned in a comment and in a string must not fire:
+    // "call std::exp(x) here" is prose, not code.
+    const char* doc = "never call std::exp(x) directly";
+    (void)doc;
+    return mymath::exp(x) + e.exp(x) + rdp::simd::mul_add(x, x, x);
+}

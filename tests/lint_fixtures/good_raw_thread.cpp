@@ -1,0 +1,23 @@
+// Non-firing fixture for rdp-raw-thread: parallelism through the par::
+// layer, plus look-alike tokens the check must not trip on.
+#include <cstddef>
+
+namespace rdp::par {
+template <typename Fn>
+void parallel_for(std::size_t n, std::size_t grain, Fn&& fn);
+}
+
+thread_local int tls_scratch = 0;  // thread_local is not std::thread
+
+namespace mypool {
+struct thread {};  // another library's thread type is out of scope here
+}
+
+void scatter(double* out, std::size_t n) {
+    rdp::par::parallel_for(n, 1024, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) out[i] = 0.0;
+    });
+    (void)tls_scratch;
+    mypool::thread t;
+    (void)t;
+}

@@ -1,0 +1,18 @@
+// Non-firing fixture for rdp-unordered-iteration: unordered containers
+// used for lookup only; every iteration runs over a deterministic order.
+#include <unordered_map>
+#include <vector>
+
+double total_area(const std::vector<int>& ids,
+                  const std::unordered_map<int, double>& areas) {
+    double sum = 0.0;
+    for (int id : ids) {  // vector order is deterministic
+        const auto it = areas.find(id);  // keyed lookup is fine
+        if (it != areas.end()) sum += it->second;
+    }
+    return sum;
+}
+
+bool has_area(const std::unordered_map<int, double>& areas, int id) {
+    return areas.count(id) != 0;
+}

@@ -1,0 +1,16 @@
+#pragma once
+// Non-firing fixture for rdp-hot-loop-alloc: the kernel-header contract —
+// caller sizes all scratch, the kernel touches only raw spans.
+#include <cstddef>
+
+namespace rdp {
+
+/// out and scratch are caller-owned and pre-sized to n; the kernel never
+/// allocates.
+inline void wa_partials(const double* x, std::size_t n, double* scratch,
+                        double* out) {
+    for (std::size_t i = 0; i < n; ++i) scratch[i] = x[i] * 2.0;
+    for (std::size_t i = 0; i < n; ++i) out[i] = scratch[i] + x[i];
+}
+
+}  // namespace rdp

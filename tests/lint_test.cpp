@@ -1,0 +1,262 @@
+// Regression tests for the static determinism-contract layer (DESIGN.md
+// §15): every rdp-* check fires on its purpose-built bad fixture, stays
+// silent on its good twin, and the full src/ tree is clean. When a Clang
+// development install provided the rdp-tidy plugin, the plugin itself is
+// load-tested against the exported compile_commands.json.
+#include "lint_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fs = std::filesystem;
+using rdp::lint::Finding;
+
+namespace {
+
+std::string read_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::vector<Finding> check_fixture(const std::string& check,
+                                   const std::string& fixture_name) {
+    const fs::path path = fs::path(RDP_LINT_FIXTURE_DIR) / fixture_name;
+    return rdp::lint::run_check(check, path.string(), read_file(path));
+}
+
+/// Run a shell command, capturing stdout+stderr; returns nullopt when the
+/// command could not run at all.
+std::optional<std::string> run_cmd(const std::string& cmd) {
+    FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+    if (pipe == nullptr) return std::nullopt;
+    std::string out;
+    std::array<char, 4096> buf{};
+    size_t n = 0;
+    while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+        out.append(buf.data(), n);
+    const int rc = pclose(pipe);
+    if (rc != 0 && out.empty()) return std::nullopt;
+    return out;
+}
+
+bool have_clang_tidy() {
+    const auto v = run_cmd("clang-tidy --version");
+    return v.has_value() && v->find("LLVM") != std::string::npos;
+}
+
+}  // namespace
+
+// ---- the comment/string stripper the portable checks rely on --------------
+
+TEST(LintStrip, RemovesCommentsAndStringsPreservingLines) {
+    const std::string src =
+        "int a; // std::exp(1.0)\n"
+        "/* std::getenv(\"X\")\n"
+        "   more */ int b;\n"
+        "const char* s = \"std::thread t;\";\n"
+        "char c = '\\'';\n";
+    const std::string out = rdp::lint::strip_comments_and_strings(src);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+              std::count(src.begin(), src.end(), '\n'));
+    EXPECT_EQ(out.find("exp"), std::string::npos);
+    EXPECT_EQ(out.find("getenv"), std::string::npos);
+    EXPECT_EQ(out.find("thread"), std::string::npos);
+    EXPECT_NE(out.find("int a;"), std::string::npos);
+    EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(LintStrip, DigitSeparatorIsNotACharLiteral) {
+    const std::string src = "int n = 1'000'000; double d = std::exp(1.0);\n";
+    const std::string out = rdp::lint::strip_comments_and_strings(src);
+    EXPECT_NE(out.find("std::exp"), std::string::npos)
+        << "digit separators must not open a char literal and swallow code";
+}
+
+// ---- one firing + one non-firing fixture per check ------------------------
+
+TEST(RdpRawExp, FiresOnBadFixture) {
+    const auto findings = check_fixture("rdp-raw-exp", "bad_raw_exp.cpp");
+    EXPECT_EQ(findings.size(), 3u);
+    for (const Finding& f : findings) EXPECT_EQ(f.check, "rdp-raw-exp");
+}
+
+TEST(RdpRawExp, SilentOnGoodFixture) {
+    const auto findings = check_fixture("rdp-raw-exp", "good_raw_exp.cpp");
+    EXPECT_TRUE(findings.empty())
+        << "unexpected: " << findings.front().message;
+}
+
+TEST(RdpUnorderedIteration, FiresOnBadFixture) {
+    const auto findings = check_fixture("rdp-unordered-iteration",
+                                        "bad_unordered_iteration.cpp");
+    EXPECT_EQ(findings.size(), 2u);  // the range-for and the begin() walk
+    for (const Finding& f : findings)
+        EXPECT_EQ(f.check, "rdp-unordered-iteration");
+}
+
+TEST(RdpUnorderedIteration, SilentOnGoodFixture) {
+    const auto findings = check_fixture("rdp-unordered-iteration",
+                                        "good_unordered_iteration.cpp");
+    EXPECT_TRUE(findings.empty())
+        << "unexpected: " << findings.front().message;
+}
+
+TEST(RdpRawThread, FiresOnBadFixture) {
+    const auto findings =
+        check_fixture("rdp-raw-thread", "bad_raw_thread.cpp");
+    EXPECT_EQ(findings.size(), 2u);  // std::thread and std::async
+    for (const Finding& f : findings) EXPECT_EQ(f.check, "rdp-raw-thread");
+}
+
+TEST(RdpRawThread, SilentOnGoodFixture) {
+    const auto findings =
+        check_fixture("rdp-raw-thread", "good_raw_thread.cpp");
+    EXPECT_TRUE(findings.empty())
+        << "unexpected: " << findings.front().message;
+}
+
+TEST(RdpRawGetenv, FiresOnBadFixture) {
+    const auto findings =
+        check_fixture("rdp-raw-getenv", "bad_raw_getenv.cpp");
+    EXPECT_EQ(findings.size(), 2u);  // std::getenv and ::getenv
+    for (const Finding& f : findings) EXPECT_EQ(f.check, "rdp-raw-getenv");
+}
+
+TEST(RdpRawGetenv, SilentOnGoodFixture) {
+    const auto findings =
+        check_fixture("rdp-raw-getenv", "good_raw_getenv.cpp");
+    EXPECT_TRUE(findings.empty())
+        << "unexpected: " << findings.front().message;
+}
+
+TEST(RdpHotLoopAlloc, FiresOnBadFixture) {
+    const auto findings =
+        check_fixture("rdp-hot-loop-alloc", "bad_wa_kernel.hpp");
+    EXPECT_GE(findings.size(), 5u);  // decl, reserve, push_back, new, resize
+    for (const Finding& f : findings)
+        EXPECT_EQ(f.check, "rdp-hot-loop-alloc");
+}
+
+TEST(RdpHotLoopAlloc, SilentOnGoodFixture) {
+    const auto findings =
+        check_fixture("rdp-hot-loop-alloc", "good_wa_kernel.hpp");
+    EXPECT_TRUE(findings.empty())
+        << "unexpected: " << findings.front().message;
+}
+
+// ---- path-based applicability (run_file) ----------------------------------
+
+TEST(LintPathRules, SimdLayerMayCallRawExp) {
+    const std::string code = "double f() { return std::exp(1.0); }\n";
+    EXPECT_TRUE(rdp::lint::run_file("src/util/simd.cpp", code).empty());
+    EXPECT_EQ(rdp::lint::run_file("src/wirelength/wa_model.cpp", code).size(),
+              1u);
+}
+
+TEST(LintPathRules, EnvLayerMayCallGetenv) {
+    const std::string code =
+        "const char* f() { return std::getenv(\"X\"); }\n";
+    EXPECT_TRUE(rdp::lint::run_file("src/util/env.cpp", code).empty());
+    EXPECT_EQ(rdp::lint::run_file("src/util/log.cpp", code).size(), 1u);
+}
+
+TEST(LintPathRules, ParallelLayerMayOwnThreads) {
+    const std::string code = "void f() { std::thread t; t.join(); }\n";
+    EXPECT_TRUE(rdp::lint::run_file("src/util/parallel.cpp", code).empty());
+    EXPECT_EQ(rdp::lint::run_file("src/router/maze_route.cpp", code).size(),
+              1u);
+}
+
+TEST(LintPathRules, AllocRuleOnlyAppliesToKernelHeaders) {
+    const std::string code =
+        "inline void f(std::vector<double>& v) { v.push_back(1.0); }\n";
+    EXPECT_FALSE(rdp::lint::run_file("src/fft/fft_kernel.hpp", code).empty());
+    EXPECT_TRUE(rdp::lint::run_file("src/fft/fft.cpp", code).empty());
+}
+
+// ---- the real tree must be clean ------------------------------------------
+
+TEST(LintFullTree, SrcIsClean) {
+    const fs::path src_dir = RDP_SRC_DIR;
+    ASSERT_TRUE(fs::exists(src_dir)) << src_dir;
+    size_t files = 0;
+    std::vector<Finding> all;
+    for (const auto& entry : fs::recursive_directory_iterator(src_dir)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext != ".cpp" && ext != ".hpp") continue;
+        ++files;
+        const auto findings = rdp::lint::run_file(entry.path().string(),
+                                                  read_file(entry.path()));
+        all.insert(all.end(), findings.begin(), findings.end());
+    }
+    EXPECT_GT(files, 50u) << "src/ scan looks incomplete";
+    std::ostringstream report;
+    for (const Finding& f : all)
+        report << f.file << ":" << f.line << ": [" << f.check << "] "
+               << f.message << "\n";
+    EXPECT_TRUE(all.empty()) << "determinism-contract violations in src/:\n"
+                             << report.str();
+}
+
+// ---- clang-tidy plugin (when a Clang dev install built it) ----------------
+
+TEST(RdpTidyPlugin, LoadsAndListsEveryCheck) {
+    const std::string plugin = RDP_TIDY_PLUGIN_PATH;
+    if (plugin.empty() || !fs::exists(plugin))
+        GTEST_SKIP() << "rdp_tidy_module was not built on this host "
+                        "(no Clang development install)";
+    if (!have_clang_tidy())
+        GTEST_SKIP() << "clang-tidy binary not available";
+    // Load the plugin against the exported compile_commands.json and list
+    // the registered checks on a real translation unit.
+    const std::string cmd = "clang-tidy -load " + plugin +
+                            " -checks='-*,rdp-*' --list-checks -p " +
+                            std::string(RDP_BUILD_DIR) + " " +
+                            std::string(RDP_SRC_DIR) + "/util/log.cpp";
+    const auto out = run_cmd(cmd);
+    ASSERT_TRUE(out.has_value()) << "clang-tidy failed to run";
+    for (const std::string& check : rdp::lint::all_checks())
+        EXPECT_NE(out->find(check), std::string::npos)
+            << "missing " << check << " in:\n"
+            << *out;
+}
+
+TEST(RdpTidyPlugin, FiresOnBadFixtures) {
+    const std::string plugin = RDP_TIDY_PLUGIN_PATH;
+    if (plugin.empty() || !fs::exists(plugin))
+        GTEST_SKIP() << "rdp_tidy_module was not built on this host";
+    if (!have_clang_tidy())
+        GTEST_SKIP() << "clang-tidy binary not available";
+    const fs::path dir = RDP_LINT_FIXTURE_DIR;
+    const std::pair<const char*, const char*> cases[] = {
+        {"rdp-raw-exp", "bad_raw_exp.cpp"},
+        {"rdp-unordered-iteration", "bad_unordered_iteration.cpp"},
+        {"rdp-raw-thread", "bad_raw_thread.cpp"},
+        {"rdp-raw-getenv", "bad_raw_getenv.cpp"},
+        {"rdp-hot-loop-alloc", "bad_wa_kernel.hpp"},
+    };
+    for (const auto& [check, fixture_name] : cases) {
+        const std::string cmd =
+            "clang-tidy -load " + plugin + " -checks='-*," + check + "' " +
+            (dir / fixture_name).string() + " -- -std=c++20";
+        const auto out = run_cmd(cmd);
+        ASSERT_TRUE(out.has_value()) << cmd;
+        EXPECT_NE(out->find(check), std::string::npos)
+            << check << " did not fire on " << fixture_name << ":\n"
+            << *out;
+    }
+}

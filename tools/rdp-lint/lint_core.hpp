@@ -1,0 +1,67 @@
+#pragma once
+// Portable implementation of the rdp-* determinism-contract checks
+// (DESIGN.md §15). The authoritative implementation is the clang-tidy
+// plugin in tools/rdp-tidy (real AST matchers); this one is a
+// comment/string-aware token scanner with no dependency beyond the C++
+// standard library, so the lint gate still runs — and still fails the
+// build on a violation — on hosts without a Clang development install.
+//
+// Both implementations enforce the same five rules:
+//
+//   rdp-raw-exp             std::exp / std::fma (and friends) outside
+//                           src/util/simd.* — everything else must go
+//                           through simd::stable_exp or the RDP_SIMD_FMA-
+//                           gated mul_add helpers, or SIMD-vs-scalar and
+//                           FMA-vs-not builds stop being bitwise identical.
+//   rdp-unordered-iteration iteration over std::unordered_{map,set,...}
+//                           anywhere in src/ — hash-order is not a
+//                           deterministic order; iterating one feeds
+//                           order-dependent FP accumulation.
+//   rdp-raw-thread          std::thread / std::async / OpenMP outside
+//                           src/util/parallel.* — ad-hoc threads bypass
+//                           the deterministic chunk-plan layer (§9).
+//   rdp-raw-getenv          std::getenv outside src/util/env.cpp — every
+//                           knob must use the strict util/env parser.
+//   rdp-hot-loop-alloc      heap allocation (new/malloc/vector or string
+//                           growth) inside the kernel headers wa_kernel,
+//                           splat_kernel, fft_kernel, dct_kernel — the
+//                           kernels run inside parallel regions on
+//                           caller-owned scratch; allocating there is a
+//                           latency and determinism hazard.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdp::lint {
+
+struct Finding {
+    std::string check;    // e.g. "rdp-raw-exp"
+    std::string file;     // path as given by the caller
+    int line = 0;         // 1-based
+    std::string message;  // human-readable violation description
+};
+
+/// Names of every implemented check, in a fixed order.
+const std::vector<std::string>& all_checks();
+
+/// Replace comments, string literals, and character literals with spaces,
+/// preserving the line structure (newlines survive) so findings keep
+/// correct line numbers. Handles //, /* */, "...", '...', and R"(...)"
+/// raw strings; digit separators (1'000'000) are not treated as literals.
+std::string strip_comments_and_strings(const std::string& source);
+
+/// Run one named check over `content` unconditionally (no path-based
+/// applicability rules) — used by the fixture tests. `path` only labels
+/// the findings. Unknown check names yield no findings.
+std::vector<Finding> run_check(std::string_view check, const std::string& path,
+                               const std::string& content);
+
+/// Run every check whose path rules say it applies to `path`: the exp/
+/// thread/getenv checks skip their own implementation files, the
+/// hot-loop-alloc check fires only on the four kernel headers. This is
+/// what the rdp_lint CLI and the full-tree regression test use.
+std::vector<Finding> run_file(const std::string& path,
+                              const std::string& content);
+
+}  // namespace rdp::lint

@@ -1,0 +1,78 @@
+// rdp_lint: portable command-line front-end for the rdp-* determinism
+// checks (lint_core.hpp). run_checks.sh runs it over every file in src/;
+// any finding is a failed gate. Exit codes: 0 clean, 1 findings, 2 usage
+// or I/O error.
+//
+//   rdp_lint [--check=<rdp-check-name>] <file>...
+//
+// With --check, exactly that check runs on every file (no path-based
+// applicability rules) — handy for reproducing a fixture failure. Without
+// it, each file gets the checks its path selects (see lint_core.hpp).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string only_check;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--check=", 0) == 0) {
+            only_check = arg.substr(8);
+        } else if (arg == "--list-checks") {
+            for (const std::string& c : rdp::lint::all_checks())
+                std::cout << c << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: rdp_lint [--check=<name>] <file>...\n";
+            return 0;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty()) {
+        std::cerr << "rdp_lint: no input files (see --help)\n";
+        return 2;
+    }
+    size_t findings = 0;
+    for (const std::string& path : files) {
+        std::string content;
+        if (!read_file(path, content)) {
+            std::cerr << "rdp_lint: cannot read '" << path << "'\n";
+            return 2;
+        }
+        const std::vector<rdp::lint::Finding> fs =
+            only_check.empty()
+                ? rdp::lint::run_file(path, content)
+                : rdp::lint::run_check(only_check, path, content);
+        for (const rdp::lint::Finding& f : fs) {
+            std::cout << f.file << ":" << f.line << ": [" << f.check << "] "
+                      << f.message << "\n";
+            ++findings;
+        }
+    }
+    if (findings > 0) {
+        std::cerr << "rdp_lint: " << findings
+                  << " determinism-contract violation(s)\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+#include "HotLoopAllocCheck.h"
+
+#include "RdpCheckCommon.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace rdp {
+
+namespace {
+
+bool inKernelHeader(const SourceManager &SM, SourceLocation Loc) {
+  const std::string File = locFile(SM, Loc);
+  return llvm::StringRef(File).endswith("wa_kernel.hpp") ||
+         llvm::StringRef(File).endswith("splat_kernel.hpp") ||
+         llvm::StringRef(File).endswith("fft_kernel.hpp") ||
+         llvm::StringRef(File).endswith("dct_kernel.hpp");
+}
+
+auto owningContainer() {
+  return hasAnyName("::std::vector", "::std::basic_string", "::std::deque",
+                    "::std::list", "::std::map", "::std::set",
+                    "::std::unordered_map", "::std::unordered_set");
+}
+
+} // namespace
+
+void HotLoopAllocCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(cxxNewExpr().bind("new"), this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::malloc", "::calloc",
+                                              "::realloc",
+                                              "::aligned_alloc"))))
+          .bind("malloc"),
+      this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("push_back", "emplace_back",
+                                          "resize", "reserve", "insert",
+                                          "emplace", "assign", "append"),
+                               ofClass(owningContainer()))))
+          .bind("growth"),
+      this);
+  Finder->addMatcher(
+      varDecl(hasType(qualType(hasUnqualifiedDesugaredType(recordType(
+                  hasDeclaration(classTemplateSpecializationDecl(
+                      owningContainer())))))),
+              unless(parmVarDecl()))
+          .bind("decl"),
+      this);
+}
+
+void HotLoopAllocCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Loc;
+  const char *What = nullptr;
+  if (const auto *New = Result.Nodes.getNodeAs<CXXNewExpr>("new")) {
+    Loc = New->getBeginLoc();
+    What = "new-expression";
+  } else if (const auto *M = Result.Nodes.getNodeAs<CallExpr>("malloc")) {
+    Loc = M->getBeginLoc();
+    What = "malloc-family call";
+  } else if (const auto *G =
+                 Result.Nodes.getNodeAs<CXXMemberCallExpr>("growth")) {
+    Loc = G->getBeginLoc();
+    What = "container growth call";
+  } else if (const auto *D = Result.Nodes.getNodeAs<VarDecl>("decl")) {
+    Loc = D->getBeginLoc();
+    What = "owning container declaration";
+  } else {
+    return;
+  }
+  // The rule applies to the kernel headers only; everything else may
+  // allocate freely.
+  if (!inKernelHeader(SM, Loc))
+    return;
+  diag(Loc, "%0 in a kernel header; kernels run inside parallel regions on "
+            "caller-owned scratch and must not allocate (size in the "
+            "caller, pass raw spans in)")
+      << What;
+}
+
+} // namespace rdp
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,29 @@
+#pragma once
+// rdp-hot-loop-alloc: heap allocation inside the four kernel headers
+// (wa_kernel.hpp, splat_kernel.hpp, fft_kernel.hpp, dct_kernel.hpp):
+// new-expressions, malloc-family calls, growth calls on std containers
+// (push_back/resize/reserve/...), and declarations of owning containers.
+//
+// Why it matters: the kernels run inside par:: parallel regions on
+// caller-owned scratch (DESIGN.md §13/§14). An allocation there is a
+// silent serialization point (allocator locks), a latency cliff in the
+// hot loop, and — for containers that reallocate mid-kernel — a source of
+// pointer invalidation bugs the chunk plans cannot see.
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace rdp {
+
+class HotLoopAllocCheck : public ClangTidyCheck {
+public:
+  HotLoopAllocCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace rdp
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,40 @@
+#include "RawExpCheck.h"
+
+#include "RdpCheckCommon.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace rdp {
+
+void RawExpCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::exp", "::expf", "::expl", "::exp2", "::expm1", "::fma",
+                   "::fmaf", "::fmal", "::std::exp", "::std::expf",
+                   "::std::expl", "::std::exp2", "::std::expm1", "::std::fma",
+                   "::std::fmaf", "::std::fmal"))))
+          .bind("call"),
+      this);
+}
+
+void RawExpCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CallExpr>("call");
+  if (!Call)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  // The SIMD layer itself is the single blessed caller.
+  if (inFileContaining(SM, Call->getBeginLoc(), "util/simd."))
+    return;
+  diag(Call->getBeginLoc(),
+       "raw exp/fma call; exp must go through rdp::simd::stable_exp and "
+       "fused multiply-adds through the RDP_SIMD_FMA-gated mul_add helpers "
+       "(util/simd.hpp), or SIMD backends stop being bitwise identical");
+}
+
+} // namespace rdp
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,28 @@
+#pragma once
+// rdp-raw-exp: direct std::exp / std::fma (and the expf/expl/exp2/expm1/
+// fmaf/fmal variants) anywhere except src/util/simd.*.
+//
+// Why it is a determinism bug: rdp::simd::stable_exp is the one exp
+// implementation whose scalar and vector lanes are bitwise identical, and
+// fused multiply-adds are legal only behind the RDP_SIMD_FMA gate
+// (DESIGN.md §14). A raw libm call or an unconditional std::fma gives
+// different bits per libm version / ISA and silently breaks the
+// cross-backend bitwise contract.
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace rdp {
+
+class RawExpCheck : public ClangTidyCheck {
+public:
+  RawExpCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace rdp
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,39 @@
+#include "RawGetenvCheck.h"
+
+#include "RdpCheckCommon.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace rdp {
+
+void RawGetenvCheck::registerMatchers(MatchFinder *Finder) {
+  // declRefExpr (not just callExpr) so taking the address of getenv is
+  // flagged too.
+  Finder->addMatcher(
+      declRefExpr(to(functionDecl(hasAnyName("::getenv", "::std::getenv",
+                                             "::secure_getenv"))))
+          .bind("ref"),
+      this);
+}
+
+void RawGetenvCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Ref = Result.Nodes.getNodeAs<DeclRefExpr>("ref");
+  if (!Ref)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  // env.cpp implements the blessed wrapper.
+  if (inFileContaining(SM, Ref->getBeginLoc(), "util/env.cpp"))
+    return;
+  diag(Ref->getBeginLoc(),
+       "raw getenv; every knob must use the strict rdp::env parsing layer "
+       "(util/env.hpp) so malformed values warn and fall back "
+       "deterministically");
+}
+
+} // namespace rdp
+} // namespace tidy
+} // namespace clang

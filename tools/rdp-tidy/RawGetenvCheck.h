@@ -1,0 +1,27 @@
+#pragma once
+// rdp-raw-getenv: std::getenv / ::getenv / secure_getenv anywhere except
+// src/util/env.cpp.
+//
+// Why it matters: every RDP_* knob goes through the strict rdp::env
+// parsing layer so malformed values produce one warning and a documented
+// default instead of an atoi-style silent zero — and so a future
+// PlacementContext can virtualize the environment for multi-tenant runs
+// (ROADMAP item 1). A raw getenv bypasses both.
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace rdp {
+
+class RawGetenvCheck : public ClangTidyCheck {
+public:
+  RawGetenvCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace rdp
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,49 @@
+#include "RawThreadCheck.h"
+
+#include "RdpCheckCommon.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace rdp {
+
+void RawThreadCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxConstructExpr(hasDeclaration(cxxConstructorDecl(
+                           ofClass(hasAnyName("::std::thread",
+                                              "::std::jthread")))))
+          .bind("use"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("::std::async", "::pthread_create"))))
+          .bind("use"),
+      this);
+  // OpenMP directives parse into the AST under -fopenmp; flag them all.
+  Finder->addMatcher(ompExecutableDirective().bind("omp"), this);
+}
+
+void RawThreadCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Loc;
+  if (const auto *Use = Result.Nodes.getNodeAs<Expr>("use"))
+    Loc = Use->getBeginLoc();
+  else if (const auto *Omp =
+               Result.Nodes.getNodeAs<OMPExecutableDirective>("omp"))
+    Loc = Omp->getBeginLoc();
+  else
+    return;
+  // The par:: layer is the single blessed owner of threads.
+  if (inFileContaining(SM, Loc, "util/parallel."))
+    return;
+  diag(Loc, "raw threading primitive; all parallelism must go through the "
+            "deterministic rdp::par:: chunk layer (util/parallel.hpp, "
+            "DESIGN.md §9)");
+}
+
+} // namespace rdp
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,29 @@
+#pragma once
+// rdp-raw-thread: std::thread / std::jthread construction, std::async,
+// pthread_create, or an OpenMP directive anywhere except
+// src/util/parallel.*.
+//
+// Why it is a determinism bug: the par:: layer is the repo's only
+// threading primitive precisely because its chunk decomposition is a pure
+// function of the problem size, never the thread count (DESIGN.md §9). An
+// ad-hoc thread or OpenMP region reintroduces scheduling-order-dependent
+// floating-point combination and races against the pool's one-region-at-
+// a-time invariant.
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace rdp {
+
+class RawThreadCheck : public ClangTidyCheck {
+public:
+  RawThreadCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace rdp
+} // namespace tidy
+} // namespace clang

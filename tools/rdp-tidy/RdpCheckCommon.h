@@ -1,0 +1,39 @@
+#pragma once
+// Shared helpers for the rdp-* clang-tidy checks (tools/rdp-tidy).
+//
+// Each check enforces one clause of the repo's determinism contract
+// (DESIGN.md §9/§14/§15). The portable twin of this module — same rules,
+// token-level instead of AST-level — lives in tools/rdp-lint and runs on
+// hosts without a Clang development install; keep the two in sync when a
+// rule changes.
+
+#include <algorithm>
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang {
+namespace tidy {
+namespace rdp {
+
+/// Path (with backslashes normalized) of the spelling location of `Loc`,
+/// or an empty string when it is not a real file.
+inline std::string locFile(const SourceManager &SM, SourceLocation Loc) {
+  std::string File = SM.getFilename(SM.getSpellingLoc(Loc)).str();
+  std::replace(File.begin(), File.end(), '\\', '/');
+  return File;
+}
+
+/// True when the location lives in a file whose path contains `Needle` —
+/// used for the per-check exemption lists (e.g. util/simd.* may call
+/// std::exp; everything else must not).
+inline bool inFileContaining(const SourceManager &SM, SourceLocation Loc,
+                             llvm::StringRef Needle) {
+  return llvm::StringRef(locFile(SM, Loc)).contains(Needle);
+}
+
+} // namespace rdp
+} // namespace tidy
+} // namespace clang

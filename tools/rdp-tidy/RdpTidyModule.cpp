@@ -1,0 +1,46 @@
+// rdp-tidy: project-specific clang-tidy module enforcing the determinism
+// contract statically (DESIGN.md §15). Build as a shared object and load
+// into a stock clang-tidy:
+//
+//   clang-tidy -load tools/rdp-tidy/librdp_tidy_module.so \
+//              -checks='-*,rdp-*' -p build src/**/*.cpp
+//
+// run_checks.sh does exactly that whenever the plugin was built; the
+// fixture regression tests under tests/lint_test keep every check honest
+// (each must fire on its bad fixture and stay silent on its good one).
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "HotLoopAllocCheck.h"
+#include "RawExpCheck.h"
+#include "RawGetenvCheck.h"
+#include "RawThreadCheck.h"
+#include "UnorderedIterationCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace rdp {
+
+class RdpTidyModule : public ClangTidyModule {
+public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<RawExpCheck>("rdp-raw-exp");
+    Factories.registerCheck<UnorderedIterationCheck>(
+        "rdp-unordered-iteration");
+    Factories.registerCheck<RawThreadCheck>("rdp-raw-thread");
+    Factories.registerCheck<RawGetenvCheck>("rdp-raw-getenv");
+    Factories.registerCheck<HotLoopAllocCheck>("rdp-hot-loop-alloc");
+  }
+};
+
+static ClangTidyModuleRegistry::Add<RdpTidyModule>
+    X("rdp-module", "rdplace determinism-contract checks");
+
+} // namespace rdp
+} // namespace tidy
+
+// Anchor so -load keeps the module object file alive.
+volatile int RdpTidyModuleAnchorSource = 0;
+
+} // namespace clang

@@ -1,0 +1,51 @@
+#include "UnorderedIterationCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace rdp {
+
+namespace {
+
+/// Matches an expression whose (desugared) type is one of the std
+/// unordered containers.
+auto unorderedExpr() {
+  return expr(hasType(qualType(hasUnqualifiedDesugaredType(recordType(
+      hasDeclaration(classTemplateSpecializationDecl(hasAnyName(
+          "::std::unordered_map", "::std::unordered_set",
+          "::std::unordered_multimap", "::std::unordered_multiset"))))))));
+}
+
+} // namespace
+
+void UnorderedIterationCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxForRangeStmt(hasRangeInit(unorderedExpr())).bind("loop"), this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName("begin", "cbegin"))),
+                        on(unorderedExpr()))
+          .bind("begin"),
+      this);
+}
+
+void UnorderedIterationCheck::check(const MatchFinder::MatchResult &Result) {
+  if (const auto *Loop = Result.Nodes.getNodeAs<CXXForRangeStmt>("loop")) {
+    diag(Loop->getBeginLoc(),
+         "range-for over a std::unordered_ container: hash order is not "
+         "deterministic; copy into a sorted/indexed container before "
+         "iterating (DESIGN.md §9)");
+    return;
+  }
+  if (const auto *Begin = Result.Nodes.getNodeAs<CXXMemberCallExpr>("begin"))
+    diag(Begin->getBeginLoc(),
+         "iterator walk over a std::unordered_ container: hash order is "
+         "not deterministic (DESIGN.md §9)");
+}
+
+} // namespace rdp
+} // namespace tidy
+} // namespace clang

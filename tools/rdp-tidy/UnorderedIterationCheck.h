@@ -1,0 +1,29 @@
+#pragma once
+// rdp-unordered-iteration: a range-for loop or an explicit begin()/cbegin()
+// iterator walk over std::unordered_map / unordered_set (and the multi
+// variants) anywhere in src/.
+//
+// Why it is a determinism bug: hash-table iteration order depends on the
+// implementation, the seed, and the insertion history. A loop over an
+// unordered container feeding a floating-point accumulation (or any
+// order-sensitive fold) produces different bits run to run, which violates
+// the bitwise-reproducibility contract (DESIGN.md §9). Copy keys into a
+// sorted vector — or use an index-keyed container — before iterating.
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace rdp {
+
+class UnorderedIterationCheck : public ClangTidyCheck {
+public:
+  UnorderedIterationCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace rdp
+} // namespace tidy
+} // namespace clang
