@@ -7,6 +7,14 @@
 //                         [--bins=N] [--seed=N] [--no-mci] [--no-dc]
 //                         [--no-dpa] [--multi-pin-moving]
 //                         [--budget-ms=N] [--no-recover]
+//                         [--checkpoint-dir=PATH] [--checkpoint-every=N]
+//                         [--resume[=auto|PATH]] [--wl-iters=N]
+//                         [--route-iters=N] [--inner-iters=N] [--no-eval]
+//
+// --checkpoint-dir enables the durable checkpoint journal (DESIGN.md §16)
+// and --resume continues a killed run from it; the resumed run finishes
+// bitwise identical to the uninterrupted one. The RDP_CHECKPOINT_DIR /
+// RDP_CHECKPOINT_EVERY / RDP_RESUME environment knobs override the flags.
 //
 // With no arguments, generates a demo design, saves it to
 // /tmp/rdplace_demo.txt, and runs on that file.
@@ -30,6 +38,7 @@ int main(int argc, char** argv) {
     PlacerConfig cfg;
     cfg.mode = PlacerMode::Ours;
     int bins = 0;
+    bool run_eval = true;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -58,6 +67,20 @@ int main(int argc, char** argv) {
             cfg.recover.stage_budget_ms = std::stod(arg.substr(12));
         } else if (arg == "--no-recover") {
             cfg.recover.enabled = false;
+        } else if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+            cfg.durable.dir = arg.substr(17);
+        } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+            cfg.durable.every = std::stoi(arg.substr(19));
+        } else if (arg == "--resume" || arg.rfind("--resume=", 0) == 0) {
+            cfg.durable.resume = arg.size() > 9 ? arg.substr(9) : "auto";
+        } else if (arg.rfind("--wl-iters=", 0) == 0) {
+            cfg.max_wl_iters = std::stoi(arg.substr(11));
+        } else if (arg.rfind("--route-iters=", 0) == 0) {
+            cfg.max_route_iters = std::stoi(arg.substr(14));
+        } else if (arg.rfind("--inner-iters=", 0) == 0) {
+            cfg.inner_iters = std::stoi(arg.substr(14));
+        } else if (arg == "--no-eval") {
+            run_eval = false;
         } else if (input_path.empty()) {
             input_path = arg;
         } else if (output_path.empty()) {
@@ -128,9 +151,11 @@ int main(int argc, char** argv) {
                       << e.action << " (" << e.detail << ")\n";
     }
 
-    const EvalMetrics m = evaluate_placement(res.placed);
-    std::cout << "routed: DRWL " << m.drwl << ", #vias " << m.vias
-              << ", #DRVs " << m.drvs << "\n";
+    if (run_eval) {
+        const EvalMetrics m = evaluate_placement(res.placed);
+        std::cout << "routed: DRWL " << m.drwl << ", #vias " << m.vias
+                  << ", #DRVs " << m.drvs << "\n";
+    }
 
     write_design_file(res.placed, output_path);
     std::cout << "wrote placed design to " << output_path << "\n";

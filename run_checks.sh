@@ -18,9 +18,11 @@
 #                        plus explicit ASan+UBSan passes: ctest -L recover
 #                        (fault injection), RDP_INCREMENTAL=1 ctest -L
 #                        router (persistent route/RUDY caches forced on),
-#                        ctest -L poisson (spectral kernels), and ctest -L
+#                        ctest -L poisson (spectral kernels), ctest -L
 #                        simd (vector backends / stable_exp / kernel
-#                        equivalence)
+#                        equivalence), and ctest -L persist (durable
+#                        checkpoint format + crash/resume kill-point
+#                        matrix, DESIGN.md §16)
 #
 # Any failing step fails the script (non-zero exit). Tools missing from the
 # host (clang-format / clang-tidy / the rdp-tidy plugin) skip their step
@@ -108,6 +110,7 @@ if cmake -B build-checks -S . -DRDP_WERROR=ON >/dev/null &&
     require_label build-checks router
     require_label build-checks poisson
     require_label build-checks simd
+    require_label build-checks persist
     if ! ctest --test-dir build-checks --output-on-failure -j "$JOBS"; then
         record_failure "default ctest"
     fi
@@ -254,6 +257,18 @@ if [[ "$FAST" == 0 ]]; then
         if ! ctest --test-dir build-san-address-undefined -L simd \
                    --output-on-failure -j "$JOBS"; then
             record_failure "simd kernels (asan+ubsan)"
+        fi
+    fi
+
+    # Durable checkpointing under ASan+UBSan: the snapshot (de)serializer
+    # walks hostile bytes (corruption tests feed it flipped and truncated
+    # buffers), and the crash/resume matrix re-runs the whole kill-point
+    # harness against sanitized binaries.
+    note "durable checkpointing under ASan+UBSan (ctest -L persist)"
+    if require_label build-san-address-undefined persist; then
+        if ! ctest --test-dir build-san-address-undefined -L persist \
+                   --output-on-failure -j "$JOBS"; then
+            record_failure "durable checkpointing (asan+ubsan)"
         fi
     fi
 

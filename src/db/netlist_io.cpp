@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/io_atomic.hpp"
+
 namespace rdp {
 
 ParseError::ParseError(int line, const std::string& reason)
@@ -65,9 +67,14 @@ void write_design(const Design& d, std::ostream& os) {
 }
 
 void write_design_file(const Design& d, const std::string& path) {
-    std::ofstream os(path);
-    if (!os) throw std::runtime_error("netlist_io: cannot open " + path);
+    // Serialize to memory, then publish with one atomic rename: a crash
+    // (or a concurrent reader) can never observe a torn design file.
+    std::ostringstream os;
     write_design(d, os);
+    std::string err;
+    if (!io::atomic_write(path, os.str(), &err))
+        throw std::runtime_error("netlist_io: cannot write " + path + " (" +
+                                 err + ")");
 }
 
 Design read_design(std::istream& is) {

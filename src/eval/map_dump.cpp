@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+
+#include "util/io_atomic.hpp"
 
 namespace rdp {
 
@@ -33,9 +35,14 @@ void write_pgm(const GridF& g, std::ostream& os, const MapDumpConfig& cfg) {
 
 void write_pgm_file(const GridF& g, const std::string& path,
                     const MapDumpConfig& cfg) {
-    std::ofstream os(path, std::ios::binary);
-    if (!os) throw std::runtime_error("map_dump: cannot open " + path);
+    // Render to memory, publish atomically: image viewers polling the
+    // dump directory never catch a half-written frame.
+    std::ostringstream os(std::ios::binary);
     write_pgm(g, os, cfg);
+    std::string err;
+    if (!io::atomic_write(path, os.str(), &err))
+        throw std::runtime_error("map_dump: cannot write " + path + " (" +
+                                 err + ")");
 }
 
 }  // namespace rdp

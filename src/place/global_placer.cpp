@@ -4,10 +4,12 @@
 #include <chrono>
 #include <cmath>
 
+#include <iomanip>
 #include <limits>
 #include <sstream>
 
 #include "audit/invariant_audit.hpp"
+#include "db/netlist_io.hpp"
 #include "fft/fft.hpp"
 #include "legal/abacus.hpp"
 #include "legal/pin_access_refine.hpp"
@@ -15,7 +17,9 @@
 #include "place/objective.hpp"
 #include "place/routability_loop.hpp"
 #include "recover/checkpoint.hpp"
+#include "recover/durable_checkpoint.hpp"
 #include "recover/fault_injection.hpp"
+#include "recover/kill_points.hpp"
 #include "recover/stage_guard.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -23,6 +27,38 @@
 #include "wirelength/hpwl.hpp"
 
 namespace rdp {
+
+namespace {
+
+/// Design + curated-config fingerprint stored in every durable snapshot
+/// (DESIGN.md §16): a checkpoint must never resume a different design,
+/// seed, or schedule — any of those silently breaks the bitwise-identity
+/// contract of a resumed run.
+uint64_t durable_fingerprint(const Design& d, const PlacerConfig& cfg) {
+    std::ostringstream ss;
+    write_design(d, ss);
+    ss << std::setprecision(17) << "|mode=" << static_cast<int>(cfg.mode)
+       << "|mci=" << cfg.enable_mci << "|dc=" << cfg.enable_dc
+       << "|dpa=" << cfg.enable_dpa << "|bins=" << cfg.grid_bins
+       << "|td=" << cfg.density.target_density
+       << "|filler=" << cfg.filler_ratio << "|g=" << cfg.gamma_frac << ":"
+       << cfg.gamma_min_frac << ":" << cfg.gamma_decay
+       << "|l1=" << cfg.lambda1_growth << "|wl=" << cfg.max_wl_iters << ":"
+       << cfg.stop_overflow << "|route=" << cfg.max_route_iters << ":"
+       << cfg.inner_iters << ":" << cfg.stop_patience
+       << "|infl=" << cfg.inflation_budget_frac << ":"
+       << cfg.keep_best_margin << "|w=" << cfg.dc_weight << ":"
+       << cfg.dpa_weight << ":" << cfg.route_lambda1_boost << ":"
+       << cfg.static_pg_weight << "|bbox=" << cfg.use_bbox_dc_model
+       << "|rudy=" << cfg.use_rudy_congestion
+       << "|padp=" << cfg.enable_pin_access_dp
+       << "|nm=" << cfg.netmove.multi_pin_congestion_threshold
+       << "|seed=" << cfg.seed;
+    const std::string text = ss.str();
+    return recover::fnv1a64(text.data(), text.size());
+}
+
+}  // namespace
 
 int GlobalPlacer::add_fillers(Design& d, const PlacerConfig& cfg,
                               uint64_t seed) {
@@ -67,6 +103,21 @@ PlaceResult GlobalPlacer::place(const Design& input) const {
     Design d = input;
     if (d.rows.empty()) d.build_rows();
 
+    // Durable checkpoint/resume layer (DESIGN.md §16). The fingerprint is
+    // computed on the pre-placement design (movable input positions are
+    // overwritten below either way), so the same input file and config
+    // always fingerprint identically.
+    const recover::DurableOptions dopts =
+        recover::resolve_durable_options(cfg_.durable);
+    uint64_t fingerprint = 0;
+    if (!dopts.dir.empty() || !dopts.resume.empty())
+        fingerprint = durable_fingerprint(d, cfg_);
+    recover::DurableCheckpointer durable(dopts, fingerprint);
+    const std::optional<recover::PipelineSnapshot> resume =
+        durable.load_resume();
+    const bool resume_stage2 =
+        resume && resume->stage == recover::kStageRoutability;
+
     // Initial positions: movable cells near the centroid of fixed pins
     // (or the region center), with a small deterministic spread.
     {
@@ -100,7 +151,9 @@ PlaceResult GlobalPlacer::place(const Design& input) const {
     };
 
     // ---- Stage 1: wirelength-driven GP ------------------------------------
-    {
+    // Skipped entirely when resuming from a routability-stage snapshot:
+    // everything it would compute is superseded by the snapshot state.
+    if (!resume_stage2) {
         const AuditStageScope audit_scope("wirelength-gp");
         recover::StageGuard sguard("wirelength-gp", cfg_.recover,
                                    &res.recovery);
@@ -148,6 +201,23 @@ PlaceResult GlobalPlacer::place(const Design& input) const {
         double last_wl = 0.0;
 
         int it = 0;
+        if (resume && resume->stage == recover::kStageWirelength) {
+            // Rebuild the optimizer exactly as serialized: positions plus
+            // the full momentum state, under the snapshot's (possibly
+            // recovery-adjusted) step and schedule knobs. The iterations
+            // from here on are bitwise identical to the uninterrupted run.
+            it = resume->iter;
+            res.wl_iters = resume->iter;
+            nes_cfg.initial_step = resume->initial_step;
+            lambda1_growth = resume->lambda1_growth;
+            solver = NesterovSolver(resume->pos, nes_cfg);
+            solver.restore(resume->opt);
+            obj.set_lambda1(resume->lambda1);
+            gamma = resume->gamma;
+            obj.set_gamma(gamma);
+            last_wl = resume->last_wl;
+            RDP_LOG_INFO() << "resumed wirelength-gp at iteration " << it;
+        }
         // Recovery ladder for the wirelength stage: roll back to the last
         // checkpoint with a halved step and a tightened lambda schedule.
         // Returns false once retries are exhausted (stage degrades to the
@@ -196,6 +266,20 @@ PlaceResult GlobalPlacer::place(const Design& input) const {
                 ckpt.wirelength = last_wl;
                 hist_at_ckpt = res.overflow_history.size();
             }
+            if (durable.enabled() && it % durable.every() == 0) {
+                recover::PipelineSnapshot snap;
+                snap.stage = recover::kStageWirelength;
+                snap.iter = it;
+                snap.pos = solver.solution();
+                snap.opt = solver.snapshot();
+                snap.lambda1 = obj.lambda1();
+                snap.gamma = gamma;
+                snap.lambda1_growth = lambda1_growth;
+                snap.initial_step = nes_cfg.initial_step;
+                snap.last_wl = last_wl;
+                durable.save(snap);
+            }
+            recover::crash::maybe_kill("wl-mid");
             try {
                 if (sguard.active() &&
                     recover::fault::fire("wirelength-gp",
@@ -295,7 +379,8 @@ PlaceResult GlobalPlacer::place(const Design& input) const {
                                    &res.recovery);
         try {
             const RoutabilityStats rs = run_routability_stage(
-                d, movable, obj, cfg_, rails, first_filler);
+                d, movable, obj, cfg_, rails, first_filler, &durable,
+                resume_stage2 ? &*resume : nullptr);
             res.route_outer_iters = rs.outer_iters;
             res.congestion_history = rs.total_overflow;
             res.penalty_history = rs.penalty;

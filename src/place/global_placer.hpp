@@ -26,6 +26,7 @@
 #include "legal/detailed_place.hpp"
 #include "legal/tetris.hpp"
 #include "pinaccess/rail_select.hpp"
+#include "recover/durable_checkpoint.hpp"
 #include "recover/recover.hpp"
 #include "router/global_router.hpp"
 
@@ -111,6 +112,13 @@ struct PlacerConfig {
     /// divergence thresholds, bounded retries, stage budgets. With the
     /// defaults a clean run is bitwise identical to recovery disabled.
     recover::RecoverConfig recover;
+
+    /// Durable checkpoint/resume layer (DESIGN.md §16): journal directory,
+    /// stage-1 save cadence, and resume request. RDP_CHECKPOINT_DIR /
+    /// RDP_CHECKPOINT_EVERY / RDP_RESUME override these; the layer stays
+    /// off while the directory is empty, and a resumed run finishes
+    /// bitwise identical to the uninterrupted one.
+    recover::DurableOptions durable;
 
     uint64_t seed = 1;
     bool verbose = false;

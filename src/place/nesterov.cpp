@@ -65,4 +65,28 @@ void NesterovSolver::step(const std::vector<Vec2>& grad,
     ++k_;
 }
 
+recover::OptimizerSnapshot NesterovSolver::snapshot() const {
+    recover::OptimizerSnapshot s;
+    s.u = u_;
+    s.v = v_;
+    s.prev_v = prev_v_;
+    s.prev_g = prev_g_;
+    s.a = a_;
+    s.k = k_;
+    s.last_alpha = last_alpha_;
+    s.have_prev = have_prev_;
+    return s;
+}
+
+void NesterovSolver::restore(const recover::OptimizerSnapshot& s) {
+    u_ = s.u;
+    v_ = s.v;
+    prev_v_ = s.prev_v;
+    prev_g_ = s.prev_g;
+    a_ = s.a;
+    k_ = s.k;
+    last_alpha_ = s.last_alpha;
+    have_prev_ = s.have_prev;
+}
+
 }  // namespace rdp

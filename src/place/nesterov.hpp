@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "recover/durable_checkpoint.hpp"
 #include "util/geometry.hpp"
 
 namespace rdp {
@@ -45,6 +46,12 @@ public:
 
     int iteration() const { return k_; }
     double last_step_length() const { return last_alpha_; }
+
+    /// Complete momentum state for durable checkpoints (DESIGN.md §16).
+    /// restore() onto a freshly constructed solver reproduces the iterate
+    /// sequence bit for bit from the captured iteration.
+    recover::OptimizerSnapshot snapshot() const;
+    void restore(const recover::OptimizerSnapshot& s);
 
 private:
     NesterovConfig cfg_;

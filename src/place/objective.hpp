@@ -46,6 +46,7 @@ public:
 
     // --- state plugged in by the placer / routability loop ----------------
     void set_gamma(double g) { wa_.set_gamma(g); }
+    double gamma() const { return wa_.gamma(); }
     void set_lambda1(double l) { lambda1_ = l; }
     double lambda1() const { return lambda1_; }
     /// Per-cell inflation ratios (owned by the caller); nullptr = none.

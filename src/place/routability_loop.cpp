@@ -11,7 +11,9 @@
 #include "congestion/rudy.hpp"
 #include "pinaccess/dynamic_density.hpp"
 #include "recover/checkpoint.hpp"
+#include "recover/durable_checkpoint.hpp"
 #include "recover/fault_injection.hpp"
+#include "recover/kill_points.hpp"
 #include "recover/stage_guard.hpp"
 #include "util/env.hpp"
 #include "util/log.hpp"
@@ -132,7 +134,10 @@ bool overflow_oscillates(const std::vector<double>& window, int flips,
 RoutabilityStats run_routability_stage(
     Design& d, const std::vector<int>& movable, PlacementObjective& obj,
     const PlacerConfig& cfg, const std::vector<PGRail>& selected_rails,
-    int first_filler) {
+    int first_filler, recover::DurableCheckpointer* durable,
+    const recover::PipelineSnapshot* resume) {
+    if (resume != nullptr && resume->stage != recover::kStageRoutability)
+        resume = nullptr;
     const AuditStageScope audit_scope(kStage);
     RoutabilityStats stats;
     recover::StageGuard guard(kStage, cfg.recover, &stats.recovery);
@@ -202,7 +207,8 @@ RoutabilityStats run_routability_stage(
 
     // Fresh lambda_1 for the stage: the stage-1 schedule leaves it orders
     // of magnitude above the gradient balance a converged placement needs.
-    {
+    // A resumed run restores the serialized lambda_1 below instead.
+    if (resume == nullptr) {
         std::vector<Vec2> grad0;
         obj.set_lambda1(0.0);
         const ObjectiveTerms t0 = obj.evaluate(d, movable, pos, grad0);
@@ -219,6 +225,56 @@ RoutabilityStats run_routability_stage(
     bool use_ckpt_cmap = false;      // CorruptedDemand fallback, one-shot
 
     int outer = 0;
+    if (resume != nullptr) {
+        // Durable resume (DESIGN.md §16): restore every input the loop
+        // body reads — positions, schedules, inflation bookkeeping, the
+        // best-so-far snapshot, router relaxations, maps, and divergence
+        // history — then drop the incremental caches exactly as a recovery
+        // rollback does (they reconcile against positions this process
+        // never routed). The remaining iterations are then bitwise
+        // identical to the uninterrupted run.
+        outer = resume->iter;
+        pos = resume->pos;
+        for (size_t i = 0; i < movable.size(); ++i)
+            d.cells[static_cast<size_t>(movable[i])].pos = pos[i];
+        obj.set_lambda1(resume->lambda1);
+        // Stage 1 was skipped, so the objective still carries its
+        // construction-time gamma, not the decayed stage-1 result.
+        obj.set_gamma(resume->gamma);
+        lambda1_growth = resume->lambda1_growth;
+        nes_cfg.initial_step = resume->initial_step;
+        last_wl = resume->last_wl;
+        effective_ratios = resume->ratios;
+        scheme->restore(resume->inflation);
+        extra = resume->extra;  // same object obj points at; content swap
+        best_pos = resume->best_pos;
+        best_ratios = resume->best_ratios;
+        best_inflation = resume->best_inflation;
+        best_metric = resume->best_metric;
+        best_overflow = resume->best_overflow;
+        best_extra_area = resume->best_extra_area;
+        best_iter = resume->best_iter;
+        stall = resume->stall;
+        osc_window = resume->osc_window;
+        stats.outer_iters = resume->iter;
+        dc = resume->dc;
+        dpa = resume->dpa;
+        use_ckpt_cmap = resume->use_ckpt_cmap;
+        router_cfg.overflow_penalty = resume->router_overflow_penalty;
+        if (resume->router_layer_capacity.size() ==
+            router_cfg.layers.size())
+            for (size_t i = 0; i < router_cfg.layers.size(); ++i)
+                router_cfg.layers[i].capacity =
+                    resume->router_layer_capacity[i];
+        router = std::make_unique<GlobalRouter>(grid, router_cfg);
+        if (resume->cmap_demand.width() > 0)
+            cmap = CongestionMap(grid, resume->cmap_demand,
+                                 resume->cmap_capacity);
+        inc_route.invalidate();
+        inc_rudy.invalidate();
+        RDP_LOG_INFO() << "resumed " << kStage << " at outer iteration "
+                       << outer;
+    }
 
     // Recovery ladder. Returns false once retries are exhausted: the loop
     // then stops and the stage finishes on its best snapshot.
@@ -340,6 +396,45 @@ RoutabilityStats run_routability_stage(
             ckpt.cmap = cmap;  // last good map (empty before iteration 0)
             ckpt.wirelength = last_wl;
         }
+        // Durable journal entry at every outer boundary: an outer
+        // iteration routes the whole design, so the snapshot cost is
+        // noise against the body it fronts.
+        if (durable != nullptr && durable->enabled()) {
+            recover::PipelineSnapshot snap;
+            snap.stage = recover::kStageRoutability;
+            snap.iter = outer;
+            snap.pos = pos;
+            snap.lambda1 = obj.lambda1();
+            snap.gamma = obj.gamma();
+            snap.lambda1_growth = lambda1_growth;
+            snap.initial_step = nes_cfg.initial_step;
+            snap.last_wl = last_wl;
+            snap.ratios = effective_ratios;
+            snap.inflation = scheme->snapshot();
+            snap.best_pos = best_pos;
+            snap.best_ratios = best_ratios;
+            snap.best_inflation = best_inflation;
+            snap.best_metric = best_metric;
+            snap.best_overflow = best_overflow;
+            snap.best_extra_area = best_extra_area;
+            snap.best_iter = best_iter;
+            snap.stall = stall;
+            snap.dc = dc;
+            snap.dpa = dpa;
+            snap.use_ckpt_cmap = use_ckpt_cmap;
+            snap.router_overflow_penalty = router_cfg.overflow_penalty;
+            snap.router_layer_capacity.reserve(router_cfg.layers.size());
+            for (const LayerSpec& l : router_cfg.layers)
+                snap.router_layer_capacity.push_back(l.capacity);
+            snap.extra = extra;
+            if (cmap.demand().width() > 0) {
+                snap.cmap_demand = cmap.demand();
+                snap.cmap_capacity = cmap.capacity();
+            }
+            snap.osc_window = osc_window;
+            durable->save(snap);
+        }
+        recover::crash::maybe_kill("route-mid");
         // Stats entries of a failed attempt are rolled back with it.
         const size_t mark_overflow = stats.total_overflow.size();
         const size_t mark_inflation = stats.mean_inflation.size();

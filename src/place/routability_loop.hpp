@@ -42,10 +42,18 @@ struct RoutabilityStats {
 /// when there are none): inflation is budgeted against the filler area —
 /// inflated cell area is taken from the fillers so the total charge stays
 /// feasible and the density term cannot diverge.
+///
+/// `durable` (optional) journals a PipelineSnapshot at every outer
+/// iteration boundary; `resume` (optional, stage == kStageRoutability)
+/// restarts the loop from such a snapshot — positions, inflation, maps,
+/// router relaxations, and best-so-far state all restored, incremental
+/// route/RUDY caches invalidated exactly as on recovery rollbacks — and
+/// continues to a bitwise-identical final placement (DESIGN.md §16).
 RoutabilityStats run_routability_stage(
     Design& d, const std::vector<int>& movable, PlacementObjective& obj,
     const PlacerConfig& cfg, const std::vector<PGRail>& selected_rails,
-    int first_filler);
+    int first_filler, recover::DurableCheckpointer* durable = nullptr,
+    const recover::PipelineSnapshot* resume = nullptr);
 
 /// Budget raw inflation ratios against the filler whitespace: scales the
 /// per-cell inflation excesses so their area growth plus `extra_area`

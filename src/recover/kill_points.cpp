@@ -1,0 +1,77 @@
+#include "recover/kill_points.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <optional>
+
+#include "util/env.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace rdp::recover::crash {
+
+namespace {
+
+struct KillSpec {
+    std::string site;
+    int nth = 1;
+};
+
+struct Harness {
+    std::optional<KillSpec> spec;
+    int hits = 0;  // hits of the armed site only
+};
+
+std::mutex g_crash_mu;
+
+// Lazy first-use load of RDP_CRASH, same idiom as the RDP_FAULT harness:
+// the env var is read once, under the lock, when the first site is hit.
+Harness& harness() REQUIRES(g_crash_mu) {
+    static Harness h = [] {
+        Harness init;
+        const auto text = env::raw("RDP_CRASH");
+        if (!text || text->empty()) return init;
+        const size_t colon = text->rfind(':');
+        std::optional<long long> nth;
+        if (colon != std::string::npos)
+            nth = env::parse_int(text->substr(colon + 1));
+        if (colon == std::string::npos || colon == 0 || !nth || *nth < 1) {
+            std::cerr << "[W] ignoring invalid RDP_CRASH='" << *text
+                      << "' (expected <site>:<n>, e.g. ckpt-mid-write:2)\n";
+            return init;
+        }
+        init.spec =
+            KillSpec{text->substr(0, colon), static_cast<int>(*nth)};
+        return init;
+    }();
+    return h;
+}
+
+}  // namespace
+
+void maybe_kill(const char* site) {
+    std::lock_guard<std::mutex> lock(g_crash_mu);
+    Harness& h = harness();
+    if (!h.spec || h.spec->site != site) return;
+    if (++h.hits < h.spec->nth) return;
+    // cerr is unbuffered, so the marker survives the unflushed exit.
+    std::cerr << "[crash-point] " << site << " hit " << h.hits
+              << ": killing process\n";
+    std::_Exit(kExitCode);
+}
+
+void arm(const std::string& site, int nth) {
+    std::lock_guard<std::mutex> lock(g_crash_mu);
+    Harness& h = harness();
+    h.spec = KillSpec{site, nth < 1 ? 1 : nth};
+    h.hits = 0;
+}
+
+void clear() {
+    std::lock_guard<std::mutex> lock(g_crash_mu);
+    Harness& h = harness();
+    h.spec.reset();
+    h.hits = 0;
+}
+
+}  // namespace rdp::recover::crash

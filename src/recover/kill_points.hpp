@@ -1,0 +1,33 @@
+#pragma once
+// Deterministic crash injection (DESIGN.md §16). RDP_CRASH=<site>:<n>
+// arms one kill point: the n-th time execution reaches that site the
+// process dies with std::_Exit — no stream flushing, no atexit handlers,
+// the closest portable stand-in for an OOM kill or power loss at that
+// exact instruction. The persist test matrix uses this to prove the
+// durable-checkpoint journal survives death at every interesting moment:
+//
+//   ckpt-mid-write   half the snapshot bytes are in the temp file
+//   ckpt-post-write  the snapshot was just published (rename done)
+//   wl-mid           top of a wirelength-stage (stage 1) iteration
+//   route-mid        top of a routability-stage (stage 2) outer iteration
+//
+// Sibling of the RDP_FAULT harness (fault_injection.hpp), which throws
+// recoverable errors; this one kills the process.
+
+#include <string>
+
+namespace rdp::recover::crash {
+
+/// Exit code of an injected kill, so the child-process test driver can
+/// tell an intentional death from a real crash.
+inline constexpr int kExitCode = 86;
+
+/// Die via std::_Exit(kExitCode) if RDP_CRASH (or arm()) armed this site
+/// and this is the n-th hit; otherwise no-op. Thread-safe.
+void maybe_kill(const char* site);
+
+/// Test hooks: arm a site programmatically / disarm and reset hit counts.
+void arm(const std::string& site, int nth);
+void clear();
+
+}  // namespace rdp::recover::crash

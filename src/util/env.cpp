@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
+#include <set>
 
 namespace rdp::env {
 
@@ -24,9 +26,17 @@ std::string lowered(std::string s) {
 
 // Direct to stderr rather than RDP_LOG: env knobs are read inside static
 // initializers (log level itself among them), where the logger may not be
-// configured yet.
+// configured yet. One warning per variable per process: several knobs
+// (RDP_INCREMENTAL, RDP_CHECKPOINT_EVERY, ...) are re-read at every stage
+// entry or loop boundary, and a misspelled value must not flood the log.
 void warn(const char* name, const std::string& value,
           const std::string& expected) {
+    static std::mutex mu;
+    static std::set<std::string> warned;
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!warned.insert(name).second) return;
+    }
     std::cerr << "[W] ignoring invalid " << name << "='" << value
               << "' (expected " << expected << "); using the default\n";
 }

@@ -1,0 +1,126 @@
+#include "util/io_atomic.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RDP_IO_POSIX 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define RDP_IO_POSIX 0
+#include <fstream>
+#endif
+
+namespace rdp::io {
+
+namespace {
+
+void set_error(std::string* error, const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+#if RDP_IO_POSIX
+
+bool write_all(int fd, const unsigned char* p, size_t n, std::string* error) {
+    while (n > 0) {
+        const ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            set_error(error, "write");
+            return false;
+        }
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+#endif
+
+}  // namespace
+
+bool atomic_write(const std::string& path, const void* data, std::size_t size,
+                  std::string* error, const AtomicWriteOptions& opts) {
+    // The temp file must live in the destination directory: rename(2) is
+    // only atomic within one filesystem.
+    const std::string tmp = path + ".tmp";
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    const size_t half = opts.mid_write ? size / 2 : size;
+#if RDP_IO_POSIX
+    ::unlink(tmp.c_str());  // a leftover from an earlier crash
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) {
+        set_error(error, "open " + tmp);
+        return false;
+    }
+    bool ok = write_all(fd, bytes, half, error);
+    if (ok && opts.mid_write) {
+        opts.mid_write();
+        ok = write_all(fd, bytes + half, size - half, error);
+    }
+    if (ok && opts.durable && ::fsync(fd) != 0) {
+        set_error(error, "fsync " + tmp);
+        ok = false;
+    }
+    if (::close(fd) != 0 && ok) {
+        set_error(error, "close " + tmp);
+        ok = false;
+    }
+    if (ok && ::rename(tmp.c_str(), path.c_str()) != 0) {
+        set_error(error, "rename -> " + path);
+        ok = false;
+    }
+    if (ok && opts.durable) {
+        // Make the rename itself durable: fsync the containing directory
+        // entry. Best effort — some filesystems refuse O_RDONLY dirs.
+        const size_t slash = path.find_last_of('/');
+        const std::string dir =
+            slash == std::string::npos ? "." : path.substr(0, slash);
+        const int dfd = ::open(dir.c_str(), O_RDONLY);
+        if (dfd >= 0) {
+            ::fsync(dfd);
+            ::close(dfd);
+        }
+    }
+    if (!ok) ::unlink(tmp.c_str());
+    return ok;
+#else
+    // Portability fallback (no fsync available through the standard
+    // library): still temp-file + rename, so readers never see a torn
+    // file; power-loss durability is best effort.
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            set_error(error, "open " + tmp);
+            return false;
+        }
+        os.write(reinterpret_cast<const char*>(bytes),
+                 static_cast<std::streamsize>(half));
+        if (opts.mid_write) opts.mid_write();
+        os.write(reinterpret_cast<const char*>(bytes + half),
+                 static_cast<std::streamsize>(size - half));
+        os.flush();
+        if (!os.good()) {
+            set_error(error, "write " + tmp);
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    std::remove(path.c_str());
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        set_error(error, "rename -> " + path);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+#endif
+}
+
+bool atomic_write(const std::string& path, const std::string& data,
+                  std::string* error, const AtomicWriteOptions& opts) {
+    return atomic_write(path, data.data(), data.size(), error, opts);
+}
+
+}  // namespace rdp::io

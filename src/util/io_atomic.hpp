@@ -1,0 +1,45 @@
+#pragma once
+// Crash-consistent file publication (DESIGN.md §16). Every file written
+// under src/ goes through atomic_write: the payload lands in a temporary
+// file in the destination directory and is published with one rename(2),
+// so a reader — or a crash at any instruction — can observe the old file
+// or the new file but never a torn mixture. With `durable` set the data
+// is fsync'd before the rename and the directory after it, extending the
+// guarantee across power loss (the durable-checkpoint journal needs this;
+// ordinary reports do not).
+//
+// The rdp-raw-file-write lint rule rejects ofstream/fopen writes anywhere
+// else under src/, so this header is the single write path.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace rdp::io {
+
+struct AtomicWriteOptions {
+    /// fsync the temporary file before the rename and the containing
+    /// directory after it. Off by default: rename alone already prevents
+    /// torn files on process death; the fsync pair is only needed when
+    /// the file must survive power loss (checkpoints).
+    bool durable = false;
+    /// Test hook invoked after roughly half the payload has reached the
+    /// temporary file — the `ckpt-mid-write` kill point fires here, so the
+    /// crash tests can die with a half-written temp file on disk while the
+    /// published path is still the previous version.
+    std::function<void()> mid_write;
+};
+
+/// Write `size` bytes to `path` atomically. On failure returns false,
+/// fills `error` (when non-null) with the failing step and errno text,
+/// and removes the temporary file; the destination is never left torn.
+bool atomic_write(const std::string& path, const void* data, std::size_t size,
+                  std::string* error = nullptr,
+                  const AtomicWriteOptions& opts = {});
+
+/// Convenience overload for string payloads.
+bool atomic_write(const std::string& path, const std::string& data,
+                  std::string* error = nullptr,
+                  const AtomicWriteOptions& opts = {});
+
+}  // namespace rdp::io

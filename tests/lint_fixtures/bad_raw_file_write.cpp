@@ -1,0 +1,21 @@
+// Firing fixture for rdp-raw-file-write: files opened for writing
+// directly instead of being published through rdp::io::atomic_write.
+// The #include lines themselves must NOT fire (preprocessor directive).
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+void dump_report(const std::string& path, const std::string& body) {
+    std::ofstream os(path);  // finding: std::ofstream
+    os << body;
+}
+
+void rewrite_in_place(const std::string& path) {
+    std::fstream f(path);  // finding: std::fstream
+    f << "patched";
+}
+
+void dump_c_style(const char* path) {
+    std::FILE* f = fopen(path, "wb");  // finding: fopen call
+    if (f != nullptr) std::fclose(f);
+}

@@ -1,0 +1,29 @@
+// Non-firing fixture for rdp-raw-file-write: reads may use ifstream;
+// writes go through rdp::io::atomic_write (the one sanctioned path).
+#include <fstream>
+#include <string>
+
+namespace rdp::io {
+bool atomic_write(const std::string& path, const std::string& data,
+                  std::string* error);
+}  // namespace rdp::io
+
+std::string slurp(const std::string& path) {
+    std::ifstream is(path);  // reads are fine
+    std::string body((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    return body;
+}
+
+bool publish(const std::string& path, const std::string& body) {
+    // the word "fopen" in prose, and member calls like parser.fopen(),
+    // must not fire
+    std::string err;
+    return rdp::io::atomic_write(path, body, &err);
+}
+
+struct FakeFs {
+    bool fopen(const std::string&) { return true; }
+};
+
+bool member_named_fopen(FakeFs& fs) { return fs.fopen("x"); }

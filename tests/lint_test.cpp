@@ -142,6 +142,21 @@ TEST(RdpRawGetenv, SilentOnGoodFixture) {
         << "unexpected: " << findings.front().message;
 }
 
+TEST(RdpRawFileWrite, FiresOnBadFixture) {
+    const auto findings =
+        check_fixture("rdp-raw-file-write", "bad_raw_file_write.cpp");
+    EXPECT_EQ(findings.size(), 3u);  // ofstream, fstream, fopen
+    for (const Finding& f : findings)
+        EXPECT_EQ(f.check, "rdp-raw-file-write");
+}
+
+TEST(RdpRawFileWrite, SilentOnGoodFixture) {
+    const auto findings =
+        check_fixture("rdp-raw-file-write", "good_raw_file_write.cpp");
+    EXPECT_TRUE(findings.empty())
+        << "unexpected: " << findings.front().message;
+}
+
 TEST(RdpHotLoopAlloc, FiresOnBadFixture) {
     const auto findings =
         check_fixture("rdp-hot-loop-alloc", "bad_wa_kernel.hpp");
@@ -178,6 +193,13 @@ TEST(LintPathRules, ParallelLayerMayOwnThreads) {
     EXPECT_TRUE(rdp::lint::run_file("src/util/parallel.cpp", code).empty());
     EXPECT_EQ(rdp::lint::run_file("src/router/maze_route.cpp", code).size(),
               1u);
+}
+
+TEST(LintPathRules, AtomicWriteLayerMayOpenFiles) {
+    const std::string code =
+        "void f() { std::ofstream os(\"x\"); os << 1; }\n";
+    EXPECT_TRUE(rdp::lint::run_file("src/util/io_atomic.cpp", code).empty());
+    EXPECT_EQ(rdp::lint::run_file("src/db/netlist_io.cpp", code).size(), 1u);
 }
 
 TEST(LintPathRules, AllocRuleOnlyAppliesToKernelHeaders) {
@@ -247,6 +269,7 @@ TEST(RdpTidyPlugin, FiresOnBadFixtures) {
         {"rdp-unordered-iteration", "bad_unordered_iteration.cpp"},
         {"rdp-raw-thread", "bad_raw_thread.cpp"},
         {"rdp-raw-getenv", "bad_raw_getenv.cpp"},
+        {"rdp-raw-file-write", "bad_raw_file_write.cpp"},
         {"rdp-hot-loop-alloc", "bad_wa_kernel.hpp"},
     };
     for (const auto& [check, fixture_name] : cases) {

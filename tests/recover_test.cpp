@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -475,6 +476,120 @@ TEST_F(FaultRecoveryTest, BestSnapshotRestoresPairedInflationBookkeeping) {
         EXPECT_EQ(work.cells[static_cast<size_t>(movable[i])].pos,
                   entry_pos[i])
             << "movable slot " << i;
+}
+
+// ---------------------------------------------------------------------------
+// StageGuard degraded finish: with the retry budget exhausted, the stage
+// must land on its best snapshot (never mid-divergence positions) and the
+// summary must report the degradation.
+// ---------------------------------------------------------------------------
+
+class DegradedFinishTest : public ::testing::Test {
+protected:
+    void SetUp() override { recover::fault::clear(); }
+    void TearDown() override { recover::fault::clear(); }
+
+    struct Run {
+        RoutabilityStats stats;
+        std::vector<Vec2> entry_pos;
+        std::vector<Vec2> final_pos;
+    };
+
+    /// Drive run_routability_stage directly with max_retries = 0 so the
+    /// first detected divergence degrades the stage immediately.
+    Run run_degraded(const FaultSpec& spec,
+                     PlacerConfig cfg = recover_placer_cfg()) {
+        cfg.recover.max_retries = 0;
+        // One shared pre-placed design: the degraded-finish contract is
+        // about the stage's exit state, not the placement quality.
+        static const Design placed = [] {
+            const Design input = generate_circuit(recover_design_cfg());
+            return GlobalPlacer(recover_placer_cfg()).place(input).placed;
+        }();
+        Design work = placed;
+        const std::vector<int> movable = work.movable_cells();
+        Run run;
+        run.entry_pos.resize(movable.size());
+        for (size_t i = 0; i < movable.size(); ++i)
+            run.entry_pos[i] = work.cells[static_cast<size_t>(movable[i])].pos;
+        const BinGrid grid(work.region, 32, 32);
+        PlacementObjective obj(grid, cfg.density, cfg.netmove,
+                               4.0 * grid.bin_w());
+        obj.set_lambda1(1.0);
+        recover::fault::arm(spec);
+        run.stats = run_routability_stage(work, movable, obj, cfg, {},
+                                          work.num_cells());
+        EXPECT_GE(recover::fault::shots(), 1)
+            << "the armed fault never reached its injection site";
+        run.final_pos.resize(movable.size());
+        for (size_t i = 0; i < movable.size(); ++i)
+            run.final_pos[i] = work.cells[static_cast<size_t>(movable[i])].pos;
+        return run;
+    }
+
+    /// The summary must carry exactly one degradation of `kind`.
+    static void expect_degraded(const RoutabilityStats& stats,
+                                FaultKind kind) {
+        EXPECT_EQ(stats.recovery.degraded_stages, 1);
+        bool degraded = false;
+        for (const auto& e : stats.recovery.events)
+            if (e.action == "degrade" && e.kind == kind) degraded = true;
+        EXPECT_TRUE(degraded) << "no degrade event of kind "
+                              << recover::fault_kind_name(kind);
+    }
+
+    /// A fault injected at outer iteration 0 diverges before any snapshot
+    /// beat the entry state, so landing on "best" means landing on entry:
+    /// positions untouched, inflation bookkeeping still all-ones.
+    static void expect_entry_state(const Run& run) {
+        EXPECT_LE(run.stats.best_iter, 0);
+        ASSERT_EQ(run.final_pos.size(), run.entry_pos.size());
+        for (size_t i = 0; i < run.final_pos.size(); ++i)
+            EXPECT_EQ(run.final_pos[i], run.entry_pos[i])
+                << "movable slot " << i;
+        for (const double r : run.stats.final_ratios)
+            EXPECT_DOUBLE_EQ(r, 1.0);
+    }
+};
+
+TEST_F(DegradedFinishTest, PersistentGradientNaNLandsOnEntrySnapshot) {
+    const Run run =
+        run_degraded({"routability-gp", FaultKind::GradientNaN, 0, 200});
+    expect_degraded(run.stats, FaultKind::GradientNaN);
+    expect_entry_state(run);
+}
+
+TEST_F(DegradedFinishTest, PersistentHpwlExplosionLandsOnEntrySnapshot) {
+    const Run run =
+        run_degraded({"routability-gp", FaultKind::HpwlExplosion, 0, 200});
+    expect_degraded(run.stats, FaultKind::HpwlExplosion);
+    expect_entry_state(run);
+}
+
+TEST_F(DegradedFinishTest, RouterLivelockLandsOnEntrySnapshot) {
+    const Run run =
+        run_degraded({"routability-gp", FaultKind::RouterNoProgress, 0, 200});
+    expect_degraded(run.stats, FaultKind::RouterNoProgress);
+    expect_entry_state(run);
+}
+
+TEST_F(DegradedFinishTest, OverflowOscillationStopsEarlyOnBestSnapshot) {
+    PlacerConfig cfg = recover_placer_cfg();
+    cfg.max_route_iters = 12;
+    cfg.inner_iters = 3;
+    cfg.stop_patience = 99;  // let the oscillation window build up
+    const Run run = run_degraded(
+        {"routability-gp", FaultKind::OverflowOscillation, 0, 32}, cfg);
+    expect_degraded(run.stats, FaultKind::OverflowOscillation);
+    // Detection needs a few window samples but must fire well before the
+    // iteration cap — the stage stopped on it, not on exhaustion.
+    EXPECT_LT(run.stats.outer_iters, cfg.max_route_iters);
+    // The restored pairing is a real snapshot: finite bookkeeping only.
+    ASSERT_FALSE(run.stats.final_ratios.empty());
+    for (const double r : run.stats.final_ratios) {
+        EXPECT_TRUE(std::isfinite(r));
+        EXPECT_GE(r, 1.0);
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,11 +1,15 @@
-// Unit tests for the utility layer: geometry, Grid2D, RNG, stats, tables.
+// Unit tests for the utility layer: geometry, Grid2D, RNG, stats, tables,
+// and the strict env-knob parsing the checkpoint/resume knobs depend on.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
+#include <string>
 
+#include "util/env.hpp"
 #include "util/geometry.hpp"
 #include "util/grid2d.hpp"
 #include "util/rng.hpp"
@@ -287,6 +291,69 @@ TEST(StatsTest, Percentile) {
     EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
     EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
     EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+// ---- strict integer-knob parsing (env layer) ------------------------------
+// The durable-checkpoint knobs (RDP_CHECKPOINT_EVERY, RDP_CRASH's <n>) ride
+// on env::parse_int / env::int_or; a knob that silently atoi'd garbage to 0
+// would corrupt the checkpoint cadence instead of warning and falling back.
+
+TEST(EnvIntKnobTest, RejectsTrailingGarbageAndPartialNumbers) {
+    EXPECT_FALSE(env::parse_int("8abc").has_value());
+    EXPECT_FALSE(env::parse_int("12 34").has_value());
+    EXPECT_FALSE(env::parse_int("--5").has_value());
+    EXPECT_FALSE(env::parse_int("5-").has_value());
+    EXPECT_FALSE(env::parse_int("+").has_value());
+    EXPECT_FALSE(env::parse_int("-").has_value());
+}
+
+TEST(EnvIntKnobTest, RejectsOverflowInsteadOfSaturating) {
+    EXPECT_FALSE(env::parse_int("99999999999999999999999").has_value());
+    EXPECT_FALSE(env::parse_int("-99999999999999999999999").has_value());
+    // The extremes that do fit must survive exactly.
+    EXPECT_EQ(env::parse_int("9223372036854775807").value_or(0),
+              9223372036854775807LL);
+    EXPECT_FALSE(env::parse_int("9223372036854775808").has_value());
+}
+
+TEST(EnvIntKnobTest, IntOrEnforcesTheDocumentedRange) {
+    ::setenv("RDP_TEST_UTIL_INT", "25", 1);
+    EXPECT_EQ(env::int_or("RDP_TEST_UTIL_INT", 1, 1, 1 << 20), 25);
+    ::setenv("RDP_TEST_UTIL_INT", "0", 1);  // below min: cadence must be >= 1
+    EXPECT_EQ(env::int_or("RDP_TEST_UTIL_INT", 25, 1, 1 << 20), 25);
+    ::setenv("RDP_TEST_UTIL_INT", "-3", 1);
+    EXPECT_EQ(env::int_or("RDP_TEST_UTIL_INT", 25, 1, 1 << 20), 25);
+    ::unsetenv("RDP_TEST_UTIL_INT");
+    EXPECT_EQ(env::int_or("RDP_TEST_UTIL_INT", 25, 1, 1 << 20), 25);
+}
+
+TEST(EnvIntKnobTest, ParseIsPureLookupIsNot) {
+    // parse_int never reads the environment: same text, same answer,
+    // whatever the process state.
+    ::setenv("RDP_TEST_UTIL_PURE", "7", 1);
+    EXPECT_EQ(env::parse_int("3").value_or(-1), 3);
+    ::unsetenv("RDP_TEST_UTIL_PURE");
+    EXPECT_EQ(env::parse_int("3").value_or(-1), 3);
+}
+
+TEST(EnvIntKnobTest, MalformedKnobWarnsExactlyOnce) {
+    // Knobs like RDP_CHECKPOINT_EVERY are re-read at every loop boundary;
+    // a misspelled value must produce one warning, not a flood.
+    ::setenv("RDP_TEST_UTIL_WARN_ONCE", "not-a-number", 1);
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(env::int_or("RDP_TEST_UTIL_WARN_ONCE", 4, 1, 64), 4);
+    EXPECT_EQ(env::int_or("RDP_TEST_UTIL_WARN_ONCE", 4, 1, 64), 4);
+    EXPECT_EQ(env::int_or("RDP_TEST_UTIL_WARN_ONCE", 4, 1, 64), 4);
+    const std::string err = testing::internal::GetCapturedStderr();
+    ::unsetenv("RDP_TEST_UTIL_WARN_ONCE");
+    size_t warnings = 0;
+    for (size_t at = err.find("RDP_TEST_UTIL_WARN_ONCE");
+         at != std::string::npos;
+         at = err.find("RDP_TEST_UTIL_WARN_ONCE", at + 1))
+        ++warnings;
+    EXPECT_EQ(warnings, 1u) << err;
+    EXPECT_NE(err.find("[W]"), std::string::npos) << err;
+    EXPECT_NE(err.find("using the default"), std::string::npos) << err;
 }
 
 TEST(TableTest, FormatsAlignedTable) {

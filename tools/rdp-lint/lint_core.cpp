@@ -311,6 +311,42 @@ void check_raw_getenv(const std::string& stripped, const std::string& path,
     }
 }
 
+// ---- rdp-raw-file-write ---------------------------------------------------
+
+/// True when the token sits on a preprocessor directive line: `#include
+/// <fstream>` must not count as a use of std::fstream.
+bool on_pp_directive(const std::string& s, size_t tok_pos) {
+    size_t ls = s.rfind('\n', tok_pos);
+    ls = ls == std::string::npos ? 0 : ls + 1;
+    const size_t first = next_sig(s, ls);
+    return first != std::string::npos && first < tok_pos && s[first] == '#';
+}
+
+void check_raw_file_write(const std::string& stripped,
+                          const std::string& path,
+                          std::vector<Finding>& out) {
+    for (const Token& t : identifiers(stripped)) {
+        const Qual q = qualifier_of(stripped, t.pos);
+        const bool stream_type =
+            (t.text == "ofstream" || t.text == "fstream" ||
+             t.text == "basic_ofstream" || t.text == "basic_fstream") &&
+            (q == Qual::StdOrGlobal || q == Qual::Bare) &&
+            !on_pp_directive(stripped, t.pos);
+        const bool cstdio_open =
+            (t.text == "fopen" || t.text == "freopen") &&
+            followed_by_call(stripped, t) && q != Qual::Member &&
+            q != Qual::OtherScope &&
+            !(q == Qual::Bare && looks_like_declaration(stripped, t.pos));
+        if (!stream_type && !cstdio_open) continue;
+        add(out, "rdp-raw-file-write", path, t.line,
+            "raw file write (" + std::string(t.text) +
+                "); every file under src/ must be published through "
+                "rdp::io::atomic_write (util/io_atomic.hpp) so a crash "
+                "can never leave a torn or half-written file "
+                "(DESIGN.md §16)");
+    }
+}
+
 // ---- rdp-hot-loop-alloc ---------------------------------------------------
 
 void check_hot_loop_alloc(const std::string& stripped, const std::string& path,
@@ -378,7 +414,7 @@ bool is_kernel_header(const std::string& path) {
 const std::vector<std::string>& all_checks() {
     static const std::vector<std::string> kChecks = {
         "rdp-raw-exp", "rdp-unordered-iteration", "rdp-raw-thread",
-        "rdp-raw-getenv", "rdp-hot-loop-alloc"};
+        "rdp-raw-getenv", "rdp-raw-file-write", "rdp-hot-loop-alloc"};
     return kChecks;
 }
 
@@ -499,6 +535,8 @@ std::vector<Finding> run_check(std::string_view check, const std::string& path,
         check_unordered_iteration(stripped, path, out);
     if (check == "rdp-raw-thread") check_raw_thread(stripped, path, out);
     if (check == "rdp-raw-getenv") check_raw_getenv(stripped, path, out);
+    if (check == "rdp-raw-file-write")
+        check_raw_file_write(stripped, path, out);
     if (check == "rdp-hot-loop-alloc")
         check_hot_loop_alloc(stripped, path, out);
     return out;
@@ -510,13 +548,16 @@ std::vector<Finding> run_file(const std::string& path,
     const std::string stripped = strip_comments_and_strings(content);
     // The simd layer is the one place allowed to touch raw exp/fma; the
     // parallel layer is the one place allowed to own threads; the env
-    // parser is the one place allowed to call getenv.
+    // parser is the one place allowed to call getenv; the atomic-write
+    // helper is the one place allowed to open a file for writing.
     if (!path_contains(path, "util/simd.")) check_raw_exp(stripped, path, out);
     check_unordered_iteration(stripped, path, out);
     if (!path_contains(path, "util/parallel."))
         check_raw_thread(stripped, path, out);
     if (!path_contains(path, "util/env.cpp"))
         check_raw_getenv(stripped, path, out);
+    if (!path_contains(path, "util/io_atomic."))
+        check_raw_file_write(stripped, path, out);
     if (is_kernel_header(path)) check_hot_loop_alloc(stripped, path, out);
     return out;
 }

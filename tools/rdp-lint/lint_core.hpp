@@ -6,7 +6,7 @@
 // standard library, so the lint gate still runs — and still fails the
 // build on a violation — on hosts without a Clang development install.
 //
-// Both implementations enforce the same five rules:
+// Both implementations enforce the same six rules:
 //
 //   rdp-raw-exp             std::exp / std::fma (and friends) outside
 //                           src/util/simd.* — everything else must go
@@ -22,6 +22,11 @@
 //                           the deterministic chunk-plan layer (§9).
 //   rdp-raw-getenv          std::getenv outside src/util/env.cpp — every
 //                           knob must use the strict util/env parser.
+//   rdp-raw-file-write      std::ofstream / std::fstream / fopen outside
+//                           src/util/io_atomic.* — files must be
+//                           published via io::atomic_write (temp + fsync
+//                           + rename, DESIGN.md §16) so a crash never
+//                           leaves a torn file behind.
 //   rdp-hot-loop-alloc      heap allocation (new/malloc/vector or string
 //                           growth) inside the kernel headers wa_kernel,
 //                           splat_kernel, fft_kernel, dct_kernel — the
@@ -58,7 +63,7 @@ std::vector<Finding> run_check(std::string_view check, const std::string& path,
                                const std::string& content);
 
 /// Run every check whose path rules say it applies to `path`: the exp/
-/// thread/getenv checks skip their own implementation files, the
+/// thread/getenv/file-write checks skip their own implementation files, the
 /// hot-loop-alloc check fires only on the four kernel headers. This is
 /// what the rdp_lint CLI and the full-tree regression test use.
 std::vector<Finding> run_file(const std::string& path,

@@ -1,0 +1,49 @@
+#include "RawFileWriteCheck.h"
+
+#include "RdpCheckCommon.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace rdp {
+
+void RawFileWriteCheck::registerMatchers(MatchFinder *Finder) {
+  // Constructing a write-capable stream (ofstream covers wide variants
+  // via basic_ofstream; plain fstream opens read/write).
+  Finder->addMatcher(
+      cxxConstructExpr(hasDeclaration(cxxConstructorDecl(ofClass(hasAnyName(
+                           "::std::basic_ofstream", "::std::basic_fstream")))))
+          .bind("ctor"),
+      this);
+  // declRefExpr (not just callExpr) so taking the address of fopen is
+  // flagged too.
+  Finder->addMatcher(
+      declRefExpr(to(functionDecl(hasAnyName("::fopen", "::std::fopen",
+                                             "::freopen", "::std::freopen"))))
+          .bind("ref"),
+      this);
+}
+
+void RawFileWriteCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Loc;
+  if (const auto *Ctor = Result.Nodes.getNodeAs<CXXConstructExpr>("ctor"))
+    Loc = Ctor->getBeginLoc();
+  else if (const auto *Ref = Result.Nodes.getNodeAs<DeclRefExpr>("ref"))
+    Loc = Ref->getBeginLoc();
+  else
+    return;
+  // io_atomic.cpp implements the blessed write path.
+  if (inFileContaining(SM, Loc, "util/io_atomic."))
+    return;
+  diag(Loc, "raw file write; publish through rdp::io::atomic_write "
+            "(util/io_atomic.hpp) so a crash can never leave a torn or "
+            "half-written file (DESIGN.md §16)");
+}
+
+} // namespace rdp
+} // namespace tidy
+} // namespace clang

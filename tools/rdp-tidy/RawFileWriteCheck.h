@@ -1,0 +1,27 @@
+#pragma once
+// rdp-raw-file-write: std::ofstream / std::fstream construction and
+// fopen/freopen calls anywhere except src/util/io_atomic.cpp.
+//
+// Why it matters: every file the placer publishes (design snapshots,
+// reports, map dumps, durable checkpoints) must go through
+// rdp::io::atomic_write — temp file, optional fsync, atomic rename
+// (DESIGN.md §16) — so a crash or a concurrent reader can never observe
+// a torn, half-written file. A raw write stream bypasses that protocol.
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace rdp {
+
+class RawFileWriteCheck : public ClangTidyCheck {
+public:
+  RawFileWriteCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace rdp
+} // namespace tidy
+} // namespace clang

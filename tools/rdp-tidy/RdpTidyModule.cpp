@@ -14,6 +14,7 @@
 
 #include "HotLoopAllocCheck.h"
 #include "RawExpCheck.h"
+#include "RawFileWriteCheck.h"
 #include "RawGetenvCheck.h"
 #include "RawThreadCheck.h"
 #include "UnorderedIterationCheck.h"
@@ -30,6 +31,7 @@ public:
         "rdp-unordered-iteration");
     Factories.registerCheck<RawThreadCheck>("rdp-raw-thread");
     Factories.registerCheck<RawGetenvCheck>("rdp-raw-getenv");
+    Factories.registerCheck<RawFileWriteCheck>("rdp-raw-file-write");
     Factories.registerCheck<HotLoopAllocCheck>("rdp-hot-loop-alloc");
   }
 };
